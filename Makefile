@@ -1,0 +1,35 @@
+# Ivory build/test/reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test vet bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark sweep (one timed iteration per experiment is enough to
+# regenerate every figure; raise -benchtime for stable timings).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure plus the extension studies, with
+# plot-ready CSVs under results/data/.
+experiments:
+	$(GO) run ./cmd/ivory-exp -outdir results/data all | tee results/experiments.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/topology-sweep
+	$(GO) run ./examples/dvfs-transient
+	$(GO) run ./examples/gpu-casestudy
+
+clean:
+	rm -rf results

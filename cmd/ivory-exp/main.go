@@ -1,0 +1,232 @@
+// Command ivory-exp regenerates the paper's evaluation tables and figures,
+// plus this reproduction's extension studies.
+//
+// Usage:
+//
+//	ivory-exp [-outdir dir] <experiment> [...]
+//	ivory-exp all
+//
+// Experiments: fig4, fig6, fig7, fig8, fig9, table1, table2, fig10, fig11,
+// fig12, fig13, ablations, twostage, dvfs, families, gridscale, gears.
+// Text tables print to stdout; with -outdir, plot-ready CSV data files are
+// written as well. See EXPERIMENTS.md for the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ivory/internal/experiments"
+	"ivory/internal/report"
+)
+
+// csvWriter is implemented by every experiment result that has plot data.
+type csvWriter interface {
+	WriteCSV(*report.Writer) error
+}
+
+// outcome bundles an experiment's text rendering and optional CSV data.
+type outcome struct {
+	text string
+	data csvWriter
+}
+
+type noiseFn func() (*experiments.Fig10Result, error)
+
+type runner func(noise noiseFn) (outcome, error)
+
+var runners = map[string]runner{
+	"fig4": func(noiseFn) (outcome, error) {
+		r, err := experiments.Fig4(0)
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"fig6": func(noiseFn) (outcome, error) {
+		r, err := experiments.Fig6()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"fig7": func(noiseFn) (outcome, error) {
+		r, err := experiments.Fig7()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"fig8": func(noiseFn) (outcome, error) {
+		r, err := experiments.Fig8()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"fig9": func(noiseFn) (outcome, error) {
+		r, err := experiments.Fig9()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"table1": func(noiseFn) (outcome, error) {
+		s, err := experiments.Table1()
+		return outcome{text: s}, err
+	},
+	"table2": func(noiseFn) (outcome, error) {
+		t, err := experiments.Table2()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{text: "Table 2 — " + t.Format()}, nil
+	},
+	"fig10": func(noise noiseFn) (outcome, error) {
+		r, err := noise()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"fig11": func(noise noiseFn) (outcome, error) {
+		r, err := noise()
+		if err != nil {
+			return outcome{}, err
+		}
+		// fig10's CSV writer also emits the fig11 traces.
+		return outcome{text: r.FormatFig11()}, nil
+	},
+	"fig12": func(noiseFn) (outcome, error) {
+		r, err := experiments.Fig12()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"fig13": func(noise noiseFn) (outcome, error) {
+		n, err := noise()
+		if err != nil {
+			return outcome{}, err
+		}
+		r, err := experiments.Fig13(n)
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"ablations": func(noiseFn) (outcome, error) {
+		r, err := experiments.Ablations()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"twostage": func(noiseFn) (outcome, error) {
+		r, err := experiments.TwoStage()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"dvfs": func(noiseFn) (outcome, error) {
+		r, err := experiments.FastDVFS()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"families": func(noiseFn) (outcome, error) {
+		r, err := experiments.FamilyTransients()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"gridscale": func(noiseFn) (outcome, error) {
+		r, err := experiments.GridScale()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"gears": func(noiseFn) (outcome, error) {
+		r, err := experiments.Gears()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"variation": func(noiseFn) (outcome, error) {
+		r, err := experiments.Variation(0, 0)
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{text: r.Format()}, nil
+	},
+	"nodes": func(noiseFn) (outcome, error) {
+		r, err := experiments.NodeSweep()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+}
+
+var order = []string{
+	"fig4", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
+	"fig10", "fig11", "fig12", "fig13",
+	"ablations", "twostage", "dvfs", "families", "gridscale", "gears", "variation", "nodes",
+}
+
+func main() {
+	outdir := flag.String("outdir", "", "write plot-ready CSV data files to this directory")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintf(os.Stderr, "usage: ivory-exp [-outdir dir] <experiment|all> ...\nexperiments: %v\n", order)
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = order
+	}
+	// fig10/fig11/fig13 share the noise analysis; cache it across the run.
+	var cached *experiments.Fig10Result
+	noise := func() (*experiments.Fig10Result, error) {
+		if cached != nil {
+			return cached, nil
+		}
+		var err error
+		cached, err = experiments.Fig10(0, 0)
+		return cached, err
+	}
+	var w *report.Writer
+	if *outdir != "" {
+		w = report.NewWriter(*outdir)
+	}
+	for _, name := range args {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ivory-exp: unknown experiment %q (have %v)\n", name, order)
+			os.Exit(2)
+		}
+		out, err := run(noise)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivory-exp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out.text)
+		if w != nil && out.data != nil {
+			if err := out.data.WriteCSV(w); err != nil {
+				fmt.Fprintf(os.Stderr, "ivory-exp: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if w != nil {
+		for _, p := range w.Written {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", p)
+		}
+	}
+}

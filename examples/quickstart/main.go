@@ -1,0 +1,55 @@
+// Quickstart: explore the IVR design space for a small SoC power domain
+// and print the winning designs of every converter family.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ivory"
+)
+
+func main() {
+	// A mobile-SoC power domain: 1.8 V rail in, 0.9 V domain, 2 A peak,
+	// 3 mm² of die budget, built at 22 nm.
+	spec := ivory.Spec{
+		NodeName: "22nm",
+		VIn:      1.8,
+		VOut:     0.9,
+		IMax:     2.0,
+		AreaMax:  3e-6,
+	}
+	res, err := ivory.Explore(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Explored the design space: %d feasible candidates (%d rejected).\n\n",
+		len(res.Candidates), res.Rejected)
+	for _, kind := range []ivory.Kind{ivory.KindSC, ivory.KindBuck, ivory.KindLDO} {
+		c, ok := res.BestOfKind(kind)
+		if !ok {
+			fmt.Printf("%-4s: no feasible design\n", kind)
+			continue
+		}
+		m := c.Metrics
+		fmt.Printf("%-4s: %-44s\n      eff %.1f%%  ripple %.2f mV  fsw %.1f MHz  area %.2f mm²\n",
+			kind, c.Label, m.Efficiency*100, m.RippleVpp*1e3, m.FSw/1e6, m.AreaDie*1e6)
+		fmt.Printf("      losses: conduction %.1f mW, gates %.1f mW, parasitic %.1f mW, control %.2f mW\n",
+			m.Loss.Conduction*1e3, m.Loss.GateDrive*1e3, m.Loss.Parasitic*1e3, m.Loss.Control*1e3)
+	}
+	fmt.Printf("\nOverall winner: %v — %s (%.1f%% efficient)\n",
+		res.Best.Kind, res.Best.Label, res.Best.Metrics.Efficiency*100)
+
+	// The winning SC design can be inspected further: its output impedance
+	// at the operating frequency, the regulation frequency at half load...
+	if c, ok := res.BestOfKind(ivory.KindSC); ok {
+		d := c.SC
+		fHalf, err := d.RegulationFrequency(spec.IMax / 2)
+		if err == nil {
+			fmt.Printf("At half load the feedback settles at %.1f MHz (vs %.1f MHz at full load).\n",
+				fHalf/1e6, c.Metrics.FSw/1e6)
+		}
+	}
+}

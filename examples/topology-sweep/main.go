@@ -1,0 +1,60 @@
+// Topology sweep: analyze the charge-multiplier vectors of every built-in
+// switched-capacitor family and compare their SSL/FSL cost metrics — the
+// numbers that drive Eq. (1) of the paper and ultimately decide which
+// topology wins a design-space exploration.
+//
+//	go run ./examples/topology-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ivory"
+)
+
+func main() {
+	type gen struct {
+		name string
+		make func() (*ivory.Topology, error)
+	}
+	gens := []gen{
+		{"series-parallel 2:1", func() (*ivory.Topology, error) { return ivory.SeriesParallel(2, 1) }},
+		{"series-parallel 3:1", func() (*ivory.Topology, error) { return ivory.SeriesParallel(3, 1) }},
+		{"series-parallel 3:2", func() (*ivory.Topology, error) { return ivory.SeriesParallel(3, 2) }},
+		{"series-parallel 4:1", func() (*ivory.Topology, error) { return ivory.SeriesParallel(4, 1) }},
+		{"ladder 3:1", func() (*ivory.Topology, error) { return ivory.Ladder(3, 1) }},
+		{"ladder 5:2", func() (*ivory.Topology, error) { return ivory.Ladder(5, 2) }},
+		{"ladder 7:3", func() (*ivory.Topology, error) { return ivory.Ladder(7, 3) }},
+		{"dickson 4:1", func() (*ivory.Topology, error) { return ivory.Dickson(4) }},
+		{"fibonacci (3 stages)", func() (*ivory.Topology, error) { return ivory.Fibonacci(3) }},
+		{"doubler 8:1", func() (*ivory.Topology, error) { return ivory.Doubler(3) }},
+	}
+	fmt.Printf("%-22s %8s %6s %8s %6s %8s %10s\n",
+		"topology", "ratio", "caps", "Σ|a_c|", "sw", "Σ|a_r|", "SSLxFSL")
+	for _, g := range gens {
+		top, err := g.make()
+		if err != nil {
+			log.Fatal(err)
+		}
+		an, err := top.Analyze()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The SSL*FSL product is a size-independent figure of merit: lower
+		// means less capacitance x conductance for the same impedance.
+		fom := an.SumAC * an.SumAC * an.SumAR * an.SumAR
+		fmt.Printf("%-22s %8.4f %6d %8.3f %6d %8.3f %10.3f\n",
+			g.name, an.Ratio, an.NumCaps, an.SumAC, an.NumSwitches, an.SumAR, fom)
+	}
+
+	// A custom user topology can be supplied directly as charge-multiplier
+	// vectors (the paper's plug-in interface for advanced users).
+	custom, err := ivory.CustomTopology("my 5:1 hybrid", 0.2,
+		[]float64{0.4, 0.2, 0.2}, []float64{0.2, 0.2, 0.4, 0.4, 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncustom %q: ratio %.2f, Σ|a_c| = %.2f, Σ|a_r| = %.2f\n",
+		custom.Name, custom.Ratio, custom.SumAC, custom.SumAR)
+}

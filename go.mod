@@ -1,0 +1,3 @@
+module ivory
+
+go 1.22

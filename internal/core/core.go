@@ -1,0 +1,480 @@
+// Package core is the Ivory framework proper: it ties the technology
+// database, topology analysis, converter static models, and dynamic models
+// together behind the four modules of the paper's Fig. 2 — system
+// parameters, static design trade-offs, dynamic feedback response, and
+// design optimization.
+//
+// The entry point is Explore: given the user's high-level specification
+// (input/output voltage, maximum load current, area budget, optimization
+// objective — the paper's Table 1 inputs), it enumerates SC conversion
+// ratios and capacitor flavours, buck frequency/phase plans, and LDO
+// configurations, sizes each candidate within the area budget, evaluates
+// it with the static models, and returns the ranked candidates.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ivory/internal/buck"
+	"ivory/internal/ivr"
+	"ivory/internal/ldo"
+	"ivory/internal/sc"
+	"ivory/internal/tech"
+	"ivory/internal/topology"
+)
+
+// Objective selects what the design optimizer maximizes/minimizes.
+type Objective int
+
+const (
+	// MaxEfficiency maximizes conversion efficiency at full load (the
+	// paper's default, minimizing power delivery overhead).
+	MaxEfficiency Objective = iota
+	// MinArea minimizes die area among candidates above the efficiency
+	// floor.
+	MinArea
+	// MinNoise minimizes static output ripple.
+	MinNoise
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MaxEfficiency:
+		return "max-efficiency"
+	case MinArea:
+		return "min-area"
+	case MinNoise:
+		return "min-noise"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Kind identifies the converter family of a candidate.
+type Kind int
+
+const (
+	// KindSC marks switched-capacitor candidates.
+	KindSC Kind = iota
+	// KindBuck marks buck candidates.
+	KindBuck
+	// KindLDO marks linear-regulator candidates.
+	KindLDO
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindSC:
+		return "SC"
+	case KindBuck:
+		return "buck"
+	case KindLDO:
+		return "LDO"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec is the user's high-level input (paper Table 1).
+type Spec struct {
+	// NodeName selects the technology node (e.g. "45nm").
+	NodeName string
+	// VIn and VOut are the converter input voltage and regulation target.
+	VIn, VOut float64
+	// IMax is the maximum load current the converter must sustain (A).
+	IMax float64
+	// AreaMax is the die-area budget (m²).
+	AreaMax float64
+	// RippleMax is the static ripple target (V); zero selects 1% of VOut.
+	RippleMax float64
+	// Objective selects the optimization target (default MaxEfficiency).
+	Objective Objective
+	// EfficiencyFloor prunes candidates below this efficiency for the
+	// MinArea/MinNoise objectives (default 0.25).
+	EfficiencyFloor float64
+	// Kinds restricts the families explored; empty means all three.
+	Kinds []Kind
+	// FSwMax bounds switching frequency (default 1 GHz).
+	FSwMax float64
+}
+
+func (s *Spec) defaults() error {
+	if s.NodeName == "" {
+		return fmt.Errorf("core: Spec.NodeName is required")
+	}
+	// NaN compares false against everything, so the positivity checks
+	// below would silently wave NaNs through; reject them explicitly.
+	for _, v := range []float64{s.VIn, s.VOut, s.IMax, s.AreaMax, s.RippleMax, s.FSwMax, s.EfficiencyFloor} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: Spec contains a NaN/Inf field")
+		}
+	}
+	if s.VIn <= 0 || s.VOut <= 0 || s.VOut >= s.VIn {
+		return fmt.Errorf("core: need 0 < VOut < VIn (got %g, %g)", s.VOut, s.VIn)
+	}
+	if s.IMax <= 0 {
+		return fmt.Errorf("core: IMax must be positive")
+	}
+	if s.AreaMax <= 0 {
+		return fmt.Errorf("core: AreaMax must be positive")
+	}
+	if s.RippleMax == 0 {
+		s.RippleMax = 0.01 * s.VOut
+	}
+	if s.EfficiencyFloor == 0 {
+		s.EfficiencyFloor = 0.25
+	}
+	if s.FSwMax == 0 {
+		s.FSwMax = 1e9
+	}
+	if len(s.Kinds) == 0 {
+		s.Kinds = []Kind{KindSC, KindBuck, KindLDO}
+	}
+	return nil
+}
+
+// Candidate is one evaluated design point.
+type Candidate struct {
+	// Kind is the converter family.
+	Kind Kind
+	// Label describes the configuration (ratio, cap kind, phases...).
+	Label string
+	// Metrics is the static evaluation at IMax.
+	Metrics ivr.Metrics
+	// SC, Buck, LDO holds the underlying design (exactly one non-nil).
+	SC   *sc.Design
+	Buck *buck.Design
+	LDO  *ldo.Design
+}
+
+// Result is the outcome of a design-space exploration.
+type Result struct {
+	// Spec echoes the (defaulted) input.
+	Spec Spec
+	// Best is the winning candidate under the objective.
+	Best Candidate
+	// Candidates holds every feasible design, ranked best-first.
+	Candidates []Candidate
+	// Rejected counts configurations that failed sizing or feasibility.
+	Rejected int
+}
+
+// Explore runs the design optimization module over the full space.
+func Explore(spec Spec) (*Result, error) {
+	if err := spec.defaults(); err != nil {
+		return nil, err
+	}
+	node, err := tech.Lookup(spec.NodeName)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec}
+	for _, k := range spec.Kinds {
+		switch k {
+		case KindSC:
+			res.exploreSC(spec, node)
+		case KindBuck:
+			res.exploreBuck(spec, node)
+		case KindLDO:
+			res.exploreLDO(spec, node)
+		}
+	}
+	if len(res.Candidates) == 0 {
+		return nil, ivr.Infeasible("design space",
+			"no feasible converter for %gV->%gV @%gA within %.2g mm2",
+			spec.VIn, spec.VOut, spec.IMax, spec.AreaMax*1e6)
+	}
+	res.rank()
+	res.Best = res.Candidates[0]
+	return res, nil
+}
+
+// scRatios enumerates the SC conversion ratios worth trying for the spec:
+// the ideal output must exceed the target with at least 3% regulation
+// headroom, and by no more than ~60% (beyond that, efficiency is hopeless).
+func scRatios(spec Spec) []*topology.Topology {
+	var out []*topology.Topology
+	add := func(t *topology.Topology, err error) {
+		if err == nil {
+			out = append(out, t)
+		}
+	}
+	type ratio struct{ p, q int }
+	seen := map[float64]bool{}
+	for _, r := range []ratio{{2, 1}, {3, 1}, {4, 1}, {5, 1}, {3, 2}, {4, 3}, {5, 4}, {5, 2}, {5, 3}, {7, 2}, {7, 3}, {8, 3}} {
+		m := float64(r.q) / float64(r.p)
+		ideal := m * spec.VIn
+		if ideal < spec.VOut*1.03 || ideal > spec.VOut*1.6 {
+			continue
+		}
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		if r.q == 1 || r.q == r.p-1 {
+			add(topology.SeriesParallel(r.p, r.q))
+		} else {
+			add(topology.Ladder(r.p, r.q))
+		}
+	}
+	return out
+}
+
+func (r *Result) exploreSC(spec Spec, node *tech.Node) {
+	usable := 0.80 * spec.AreaMax // controller/routing reserve
+	for _, top := range scRatios(spec) {
+		an, err := top.Analyze()
+		if err != nil {
+			r.Rejected++
+			continue
+		}
+		for _, capKind := range []tech.CapacitorKind{tech.DeepTrench, tech.MOSCap, tech.MIMCap} {
+			capOpt, err := node.Capacitor(capKind)
+			if err != nil {
+				continue
+			}
+			for _, capShare := range []float64{0.50, 0.70, 0.85, 0.93, 0.97} {
+				cTot := capOpt.Density * usable * capShare * 0.9 // 10% to decap
+				cDecap := capOpt.Density * usable * capShare * 0.1
+				gTot, err := sc.GTotalForSwitchArea(an, node, spec.VIn, usable*(1-capShare))
+				if err != nil {
+					r.Rejected++
+					continue
+				}
+				// Both conductance-allocation policies are candidates: the
+				// cost-aware split wins when gate drive dominates, the
+				// plain a_r split when the FSL budget is tight (it keeps
+				// C·f_sw — and bottom-plate loss — lower).
+				for _, uniform := range []bool{false, true} {
+					cfg := sc.Config{
+						Analysis: an, Node: node, CapKind: capKind,
+						VIn: spec.VIn, VOut: spec.VOut,
+						CTotal: cTot, GTotal: gTot, CDecap: cDecap,
+						FSwMax:                  spec.FSwMax,
+						UniformSwitchAllocation: uniform,
+					}
+					d, err := sc.New(cfg)
+					if err != nil {
+						r.Rejected++
+						continue
+					}
+					m, err := d.Evaluate(spec.IMax)
+					if err != nil {
+						r.Rejected++
+						continue
+					}
+					// Interleave to meet the ripple target, then re-evaluate.
+					if m.RippleVpp > spec.RippleMax {
+						n := int(math.Ceil(m.RippleVpp / spec.RippleMax))
+						if n > 64 {
+							n = 64
+						}
+						cfg.Interleave = n
+						if d2, err2 := sc.New(cfg); err2 == nil {
+							if m2, err2 := d2.Evaluate(spec.IMax); err2 == nil {
+								d, m = d2, m2
+							}
+						}
+					}
+					if m.AreaDie > spec.AreaMax {
+						r.Rejected++
+						continue
+					}
+					r.Candidates = append(r.Candidates, Candidate{
+						Kind:    KindSC,
+						Label:   fmt.Sprintf("%s / %v caps / x%d", an.Name, capKind, d.Config().Interleave),
+						Metrics: m,
+						SC:      d,
+					})
+				}
+			}
+		}
+	}
+}
+
+func (r *Result) exploreBuck(spec Spec, node *tech.Node) {
+	ind, err := node.Inductor(tech.IntegratedThinFilm)
+	if err != nil {
+		r.Rejected++
+		return
+	}
+	outCapKind := tech.DeepTrench
+	if _, err := node.Capacitor(outCapKind); err != nil {
+		outCapKind = tech.MOSCap
+	}
+	// Phase count from inductor saturation with 25% headroom.
+	minPhases := int(math.Ceil(spec.IMax / (ind.IMax * 0.8)))
+	for _, phases := range []int{minPhases, minPhases * 2} {
+		if phases < 1 || phases > 64 {
+			continue
+		}
+		for _, fsw := range []float64{30e6, 60e6, 100e6, 150e6, 250e6, 400e6} {
+			if fsw > spec.FSwMax {
+				continue
+			}
+			d := spec.VOut / spec.VIn
+			iPh := spec.IMax / float64(phases)
+			// Target 60% phase-current ripple in CCM. The frequency
+			// roll-off coefficient is independent of L0, so the required
+			// effective inductance divides by it directly.
+			dI := 0.6 * iPh
+			lReq := spec.VOut * (1 - d) / (fsw * dI)
+			coeff := ind.LEff(1.0, fsw) // roll-off factor at this frequency
+			l := lReq / coeff
+			if l <= 0 {
+				r.Rejected++
+				continue
+			}
+			// Output capacitance for the ripple target.
+			n := float64(phases)
+			cOut := dI / (8 * spec.RippleMax * fsw * n * n)
+			if cOut < 5e-9 {
+				cOut = 5e-9
+			}
+			cfg := buck.Config{
+				Node: node, Inductor: tech.IntegratedThinFilm, OutCap: outCapKind,
+				VIn: spec.VIn, VOut: spec.VOut,
+				L: l, COut: cOut, FSw: fsw,
+				GHigh: 1, GLow: 1, Interleave: phases,
+			}
+			bd, err := buck.New(cfg)
+			if err != nil {
+				r.Rejected++
+				continue
+			}
+			bd, err = bd.OptimizeConductances(spec.IMax)
+			if err != nil {
+				r.Rejected++
+				continue
+			}
+			m, err := bd.Evaluate(spec.IMax)
+			if err != nil {
+				r.Rejected++
+				continue
+			}
+			if m.AreaDie > spec.AreaMax {
+				r.Rejected++
+				continue
+			}
+			r.Candidates = append(r.Candidates, Candidate{
+				Kind:    KindBuck,
+				Label:   fmt.Sprintf("buck x%d @ %.0f MHz", phases, fsw/1e6),
+				Metrics: m,
+				Buck:    bd,
+			})
+		}
+	}
+}
+
+func (r *Result) exploreLDO(spec Spec, node *tech.Node) {
+	headroom := spec.VIn - spec.VOut
+	gPass := spec.IMax / headroom * 1.3
+	for _, fs := range []float64{30e6, 100e6, 300e6} {
+		if fs > spec.FSwMax {
+			continue
+		}
+		// Output cap sized for the limit-cycle ripple target.
+		cOut := spec.IMax / (spec.RippleMax * fs)
+		interleave := 1
+		// Cap the decap spend at a third of the budget by interleaving.
+		capOpt, err := node.Capacitor(tech.DeepTrench)
+		if err != nil {
+			capOpt, _ = node.Capacitor(tech.MOSCap)
+		}
+		if a := capOpt.Area(cOut); a > spec.AreaMax/3 {
+			shrink := a / (spec.AreaMax / 3)
+			interleave = int(math.Ceil(shrink))
+			if interleave > 64 {
+				interleave = 64
+			}
+			cOut /= shrink
+		}
+		cfg := ldo.Config{
+			Node: node, VIn: spec.VIn, VOut: spec.VOut,
+			GPass: gPass, COut: cOut, FSample: fs, Interleave: interleave,
+		}
+		ld, err := ldo.New(cfg)
+		if err != nil {
+			r.Rejected++
+			continue
+		}
+		m, err := ld.Evaluate(spec.IMax)
+		if err != nil {
+			r.Rejected++
+			continue
+		}
+		if m.AreaDie > spec.AreaMax {
+			r.Rejected++
+			continue
+		}
+		r.Candidates = append(r.Candidates, Candidate{
+			Kind:    KindLDO,
+			Label:   fmt.Sprintf("digital LDO @ %.0f MHz x%d", fs/1e6, interleave),
+			Metrics: m,
+			LDO:     ld,
+		})
+	}
+}
+
+// rank orders candidates per the objective.
+func (r *Result) rank() {
+	obj := r.Spec.Objective
+	floor := r.Spec.EfficiencyFloor
+	less := func(a, b Candidate) bool {
+		switch obj {
+		case MinArea:
+			aOK, bOK := a.Metrics.Efficiency >= floor, b.Metrics.Efficiency >= floor
+			if aOK != bOK {
+				return aOK
+			}
+			return a.Metrics.AreaDie < b.Metrics.AreaDie
+		case MinNoise:
+			aOK, bOK := a.Metrics.Efficiency >= floor, b.Metrics.Efficiency >= floor
+			if aOK != bOK {
+				return aOK
+			}
+			return a.Metrics.RippleVpp < b.Metrics.RippleVpp
+		default:
+			return a.Metrics.Efficiency > b.Metrics.Efficiency
+		}
+	}
+	sort.SliceStable(r.Candidates, func(i, j int) bool { return less(r.Candidates[i], r.Candidates[j]) })
+}
+
+// BestOfKind returns the top-ranked candidate of the given family, or false
+// when none is feasible.
+func (r *Result) BestOfKind(k Kind) (Candidate, bool) {
+	for _, c := range r.Candidates {
+		if c.Kind == k {
+			return c, true
+		}
+	}
+	return Candidate{}, false
+}
+
+// ParetoFront returns the candidates not dominated in the
+// (efficiency up, area down) plane, sorted by area — the trade-off curve a
+// designer actually chooses from when neither objective is absolute.
+func (r *Result) ParetoFront() []Candidate {
+	var front []Candidate
+	for _, c := range r.Candidates {
+		dominated := false
+		for _, d := range r.Candidates {
+			if d.Metrics.Efficiency >= c.Metrics.Efficiency &&
+				d.Metrics.AreaDie <= c.Metrics.AreaDie &&
+				(d.Metrics.Efficiency > c.Metrics.Efficiency || d.Metrics.AreaDie < c.Metrics.AreaDie) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		return front[i].Metrics.AreaDie < front[j].Metrics.AreaDie
+	})
+	return front
+}

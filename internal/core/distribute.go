@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DistributionTable is the paper's Table 2: for each converter family, the
+// best design at each distribution count, with efficiency, static ripple,
+// and switching frequency per count.
+type DistributionTable struct {
+	// Spec echoes the chip-level specification.
+	Spec Spec
+	// Counts are the distribution factors evaluated (e.g. 1, 2, 4).
+	Counts []int
+	// Rows holds one entry per converter family that produced feasible
+	// designs.
+	Rows []DistributionRow
+}
+
+// DistributionRow is one family's line in the table.
+type DistributionRow struct {
+	// Kind is the converter family; Label describes the winning design at
+	// the first feasible count.
+	Kind  Kind
+	Label string
+	// Efficiency, RippleVpp, FSw are indexed like Counts; NaN-free, with
+	// Feasible marking valid entries.
+	Efficiency []float64
+	RippleVpp  []float64
+	FSw        []float64
+	Feasible   []bool
+	// Candidates holds the winning candidate per count (zero value when
+	// infeasible).
+	Candidates []Candidate
+}
+
+// ExploreDistribution splits the chip-level spec across each distribution
+// count (per-instance current and area divide by the count) and finds the
+// best design of every family at every count.
+func ExploreDistribution(spec Spec, counts []int) (*DistributionTable, error) {
+	if err := spec.defaults(); err != nil {
+		return nil, err
+	}
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4}
+	}
+	for _, c := range counts {
+		if c < 1 {
+			return nil, fmt.Errorf("core: distribution count %d must be >= 1", c)
+		}
+	}
+	table := &DistributionTable{Spec: spec, Counts: counts}
+	rows := map[Kind]*DistributionRow{}
+	order := []Kind{}
+	for i, cnt := range counts {
+		sub := spec
+		sub.IMax = spec.IMax / float64(cnt)
+		sub.AreaMax = spec.AreaMax / float64(cnt)
+		res, err := Explore(sub)
+		if err != nil {
+			continue // a count can be wholly infeasible; others may work
+		}
+		for _, k := range []Kind{KindSC, KindBuck, KindLDO} {
+			cand, ok := res.BestOfKind(k)
+			if !ok {
+				continue
+			}
+			row, exists := rows[k]
+			if !exists {
+				row = &DistributionRow{
+					Kind:       k,
+					Label:      cand.Label,
+					Efficiency: make([]float64, len(counts)),
+					RippleVpp:  make([]float64, len(counts)),
+					FSw:        make([]float64, len(counts)),
+					Feasible:   make([]bool, len(counts)),
+					Candidates: make([]Candidate, len(counts)),
+				}
+				rows[k] = row
+				order = append(order, k)
+			}
+			row.Efficiency[i] = cand.Metrics.Efficiency
+			row.RippleVpp[i] = cand.Metrics.RippleVpp
+			row.FSw[i] = cand.Metrics.FSw
+			row.Feasible[i] = true
+			row.Candidates[i] = cand
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("core: no feasible designs at any distribution count")
+	}
+	for _, k := range order {
+		table.Rows = append(table.Rows, *rows[k])
+	}
+	return table, nil
+}
+
+// Format renders the table in the paper's Table 2 layout.
+func (t *DistributionTable) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Design space exploration summary (%gV -> %gV, %.3g A, %.3g mm2, node %s)\n",
+		t.Spec.VIn, t.Spec.VOut, t.Spec.IMax, t.Spec.AreaMax*1e6, t.Spec.NodeName)
+	counts := make([]string, len(t.Counts))
+	for i, c := range t.Counts {
+		counts[i] = fmt.Sprintf("%d", c)
+	}
+	fmt.Fprintf(&b, "%-28s distribute: %s\n", "Topology", strings.Join(counts, "/"))
+	line := func(name string, vals []float64, feas []bool, format string, scale float64) {
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			if feas[i] {
+				parts[i] = fmt.Sprintf(format, v*scale)
+			} else {
+				parts[i] = "-"
+			}
+		}
+		fmt.Fprintf(&b, "  %-26s %s\n", name, strings.Join(parts, "/"))
+	}
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%s (%s)\n", r.Kind, r.Label)
+		line("efficiency (%)", r.Efficiency, r.Feasible, "%.1f", 100)
+		line("ripple (mV)", r.RippleVpp, r.Feasible, "%.2f", 1e3)
+		line("f_sw (MHz)", r.FSw, r.Feasible, "%.0f", 1e-6)
+	}
+	return b.String()
+}
+
+// CaseStudySpec returns the GPU case-study input of the paper's Table 1:
+// 20 mm² area budget, 20 W across four SMs, 3.3 V board input, ~1 V output
+// (0.85 V nominal + 0.15 V legacy guardband headroom at the converter).
+func CaseStudySpec(nodeName string) Spec {
+	return Spec{
+		NodeName: nodeName,
+		VIn:      3.3,
+		VOut:     1.0,
+		IMax:     20.0 / 0.85, // 20 W at the 0.85 V nominal core rail
+		AreaMax:  20e-6,
+	}
+}

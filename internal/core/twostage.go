@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stage1Model evaluates the first (off-chip / upstream) conversion stage:
+// given its output voltage and the power it must deliver, it returns the
+// stage's efficiency. The caller supplies it so that core stays free of
+// board-level policy (the experiments package passes its VRM buck model).
+type Stage1Model func(vOut, pOut float64) (float64, error)
+
+// TwoStageRow is one intermediate-voltage candidate of a hierarchical
+// power-delivery exploration.
+type TwoStageRow struct {
+	// VMid is the intermediate rail between the stages (V).
+	VMid float64
+	// Stage1Eff and Stage2Eff are the per-stage efficiencies; Combined is
+	// their product.
+	Stage1Eff, Stage2Eff, Combined float64
+	// Stage2Label names the winning on-chip design at this VMid.
+	Stage2Label string
+	// Feasible marks rows where both stages close.
+	Feasible bool
+}
+
+// TwoStageResult is the outcome of ExploreTwoStage.
+type TwoStageResult struct {
+	// Spec echoes the end-to-end requirement (VIn = source, VOut = load).
+	Spec Spec
+	// Rows holds every intermediate-voltage candidate.
+	Rows []TwoStageRow
+	// Best points at the highest combined efficiency row (nil when none).
+	Best *TwoStageRow
+	// SingleStage is the best direct (one-stage) IVR efficiency for the
+	// same end-to-end conversion, for comparison; negative when
+	// infeasible.
+	SingleStage float64
+	// SingleStageLabel names the direct design.
+	SingleStageLabel string
+}
+
+// ExploreTwoStage explores the hierarchical composition the paper lists
+// among its design-space dimensions: an upstream stage (modeled by stage1)
+// produces an intermediate rail V_mid, and the on-chip design space is
+// re-explored for each V_mid -> VOut conversion. Both the per-stage and
+// combined efficiencies are reported alongside the best single-stage
+// alternative.
+func ExploreTwoStage(spec Spec, vmids []float64, stage1 Stage1Model) (*TwoStageResult, error) {
+	if err := spec.defaults(); err != nil {
+		return nil, err
+	}
+	if stage1 == nil {
+		return nil, fmt.Errorf("core: ExploreTwoStage needs a stage-1 model")
+	}
+	if len(vmids) == 0 {
+		// Default grid between 1.15x VOut and the source.
+		lo := spec.VOut * 1.15
+		for v := lo; v < spec.VIn*0.95; v += (spec.VIn*0.95 - lo) / 6 {
+			vmids = append(vmids, v)
+		}
+	}
+	res := &TwoStageResult{Spec: spec, SingleStage: -1}
+	// Single-stage reference.
+	if direct, err := Explore(spec); err == nil {
+		res.SingleStage = direct.Best.Metrics.Efficiency
+		res.SingleStageLabel = direct.Best.Label
+	}
+	pLoad := spec.VOut * spec.IMax
+	for _, vmid := range vmids {
+		row := TwoStageRow{VMid: vmid}
+		if vmid <= spec.VOut || vmid > spec.VIn {
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		sub := spec
+		sub.VIn = vmid
+		// The on-chip stage carries the same output requirement.
+		r2, err := Explore(sub)
+		if err != nil {
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		row.Stage2Eff = r2.Best.Metrics.Efficiency
+		row.Stage2Label = r2.Best.Label
+		// Stage 1 must deliver the on-chip stage's input power at V_mid.
+		p1 := pLoad / row.Stage2Eff
+		e1, err := stage1(vmid, p1)
+		if err != nil || e1 <= 0 {
+			res.Rows = append(res.Rows, row)
+			continue
+		}
+		row.Stage1Eff = e1
+		row.Combined = e1 * row.Stage2Eff
+		row.Feasible = true
+		res.Rows = append(res.Rows, row)
+		if res.Best == nil || row.Combined > res.Best.Combined {
+			cp := row
+			res.Best = &cp
+		}
+	}
+	if res.Best == nil && res.SingleStage < 0 {
+		return nil, fmt.Errorf("core: no feasible single- or two-stage design")
+	}
+	return res, nil
+}
+
+// Format renders the exploration as a table.
+func (r *TwoStageResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Two-stage exploration %.2fV -> %.2fV @ %.1fA (%s)\n",
+		r.Spec.VIn, r.Spec.VOut, r.Spec.IMax, r.Spec.NodeName)
+	fmt.Fprintf(&b, "%-8s %-10s %-10s %-10s %s\n", "Vmid(V)", "stage1(%)", "stage2(%)", "total(%)", "stage-2 design")
+	for _, row := range r.Rows {
+		if !row.Feasible {
+			fmt.Fprintf(&b, "%-8.2f %-10s %-10s %-10s -\n", row.VMid, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-8.2f %-10.1f %-10.1f %-10.1f %s\n",
+			row.VMid, row.Stage1Eff*100, row.Stage2Eff*100, row.Combined*100, row.Stage2Label)
+	}
+	if r.SingleStage >= 0 {
+		fmt.Fprintf(&b, "single-stage reference: %.1f%% (%s)\n", r.SingleStage*100, r.SingleStageLabel)
+	}
+	if r.Best != nil {
+		fmt.Fprintf(&b, "best two-stage: Vmid %.2f V -> %.1f%%\n", r.Best.VMid, r.Best.Combined*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func constStage1(eff float64) Stage1Model {
+	return func(vOut, pOut float64) (float64, error) { return eff, nil }
+}
+
+func TestExploreTwoStageBasics(t *testing.T) {
+	spec := Spec{NodeName: "45nm", VIn: 3.3, VOut: 0.9, IMax: 6, AreaMax: 8e-6}
+	res, err := ExploreTwoStage(spec, []float64{1.5, 1.8}, constStage1(0.92))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no feasible two-stage point")
+	}
+	for _, row := range res.Rows {
+		if row.Feasible && row.Stage1Eff != 0.92 {
+			t.Errorf("stage-1 efficiency not honored: %v", row.Stage1Eff)
+		}
+	}
+	if res.Format() == "" {
+		t.Error("empty format")
+	}
+}
+
+func TestExploreTwoStageDefaultGrid(t *testing.T) {
+	spec := Spec{NodeName: "45nm", VIn: 3.3, VOut: 0.9, IMax: 6, AreaMax: 8e-6}
+	res, err := ExploreTwoStage(spec, nil, constStage1(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Errorf("default grid too small: %d rows", len(res.Rows))
+	}
+}
+
+func TestExploreTwoStageValidation(t *testing.T) {
+	spec := Spec{NodeName: "45nm", VIn: 3.3, VOut: 0.9, IMax: 6, AreaMax: 8e-6}
+	if _, err := ExploreTwoStage(spec, nil, nil); err == nil {
+		t.Error("nil stage-1 model must fail")
+	}
+	bad := spec
+	bad.VOut = 5
+	if _, err := ExploreTwoStage(bad, nil, constStage1(0.9)); err == nil {
+		t.Error("invalid spec must fail")
+	}
+}
+
+func TestExploreTwoStageSkipsBadRails(t *testing.T) {
+	spec := Spec{NodeName: "45nm", VIn: 3.3, VOut: 0.9, IMax: 6, AreaMax: 8e-6}
+	// Rails at/below VOut or above VIn are marked infeasible, not errors.
+	res, err := ExploreTwoStage(spec, []float64{0.5, 0.9, 3.4, 1.8}, constStage1(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := map[float64]bool{}
+	for _, row := range res.Rows {
+		states[row.VMid] = row.Feasible
+	}
+	for _, v := range []float64{0.5, 0.9, 3.4} {
+		if states[v] {
+			t.Errorf("Vmid %v should be infeasible", v)
+		}
+	}
+	if !states[1.8] {
+		t.Error("Vmid 1.8 should be feasible")
+	}
+}
+
+func TestExploreTwoStageStage1Errors(t *testing.T) {
+	spec := Spec{NodeName: "45nm", VIn: 3.3, VOut: 0.9, IMax: 6, AreaMax: 8e-6}
+	failing := func(vOut, pOut float64) (float64, error) { return 0, fmt.Errorf("boom") }
+	res, err := ExploreTwoStage(spec, []float64{1.8}, failing)
+	// With a single-stage fallback available this still succeeds overall.
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil {
+		t.Error("no two-stage point should be feasible with a failing stage 1")
+	}
+	if res.SingleStage <= 0 {
+		t.Error("single-stage reference missing")
+	}
+}

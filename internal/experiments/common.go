@@ -1,0 +1,83 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Figs. 4, 6-13 and Tables 1-2). Each experiment is a function
+// returning a self-describing result with a Format method; the cmd/ivory-exp
+// binary prints them and the root-level benchmarks time them. Seeds are
+// fixed so runs are reproducible.
+//
+// Absolute numbers differ from the paper — the baseline is this repo's own
+// MNA simulator rather than Cadence, devices come from the built-in
+// technology tables rather than the authors' PDKs, and workload traces are
+// synthetic — but each experiment reproduces the paper's qualitative shape:
+// who wins, how curves bend, and where crossovers sit. EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ivory/internal/sc"
+	"ivory/internal/tech"
+	"ivory/internal/topology"
+)
+
+// seed fixes all stochastic inputs of the experiments.
+const seed = 20170618 // DAC'17 began June 18, 2017
+
+// mustSC builds the reference 2:1 SC design used by several validation
+// experiments: 32 nm, 1.8 V in, deep-trench flying caps.
+func mustSC(ctot, gtot, vout float64, fswMax float64) (*sc.Design, *topology.Topology, *topology.Analysis, error) {
+	top, err := topology.SeriesParallel(2, 1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	an, err := top.Analyze()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	d, err := sc.New(sc.Config{
+		Analysis: an,
+		Node:     tech.MustLookup("32nm"),
+		CapKind:  tech.DeepTrench,
+		VIn:      1.8,
+		VOut:     vout,
+		CTotal:   ctot,
+		GTotal:   gtot,
+		CDecap:   ctot / 2,
+		FSwMax:   fswMax,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return d, top, an, nil
+}
+
+// table renders rows of labeled columns with reasonable alignment.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ivory/internal/core"
+	"ivory/internal/numeric"
+	"ivory/internal/pds"
+	"ivory/internal/sc"
+	"ivory/internal/workload"
+)
+
+// noiseConfigs are the four PDS configurations of the case study.
+var noiseConfigs = []int{0, 1, 2, 4} // 0 = off-chip VRM
+
+func configName(n int) string {
+	switch n {
+	case 0:
+		return "off-chip VRM"
+	case 1:
+		return "centralized IVR"
+	default:
+		return fmt.Sprintf("%d distributed IVRs", n)
+	}
+}
+
+// Fig10Cell is one benchmark x configuration box-plot entry.
+type Fig10Cell struct {
+	Benchmark string
+	Config    string
+	// Stats summarizes the core-voltage distribution (box plot input).
+	Stats numeric.Summary
+	// NoiseVpp is the voltage-noise range.
+	NoiseVpp float64
+	// WorstDroop is VNominal - min(V).
+	WorstDroop float64
+}
+
+// Fig10Result reproduces the paper's Fig. 10: voltage-noise statistics of
+// every benchmark under every VR configuration, and (reusing the same
+// simulations) the paper's Fig. 11 waveforms for CFD.
+type Fig10Result struct {
+	Cells []Fig10Cell
+	// CFDTraces holds the Fig. 11 waveforms: config name -> core voltage.
+	CFDTimes  []float64
+	CFDTraces map[string][]float64
+	// NoiseByConfig aggregates the worst-case noise range per config.
+	NoiseByConfig map[string]float64
+	// DroopByConfig aggregates the worst droop per config (the guardband).
+	DroopByConfig map[string]float64
+}
+
+// caseIVRDesign builds the chip-level SC converter the static exploration
+// selects for the case study (best SC candidate of Table 2), re-sized to
+// totals and with generous interleaving for the dynamic analysis.
+func caseIVRDesign(cs *CaseSystem) (*sc.Design, error) {
+	res, err := core.Explore(cs.Spec)
+	if err != nil {
+		return nil, err
+	}
+	cand, ok := res.BestOfKind(core.KindSC)
+	if !ok {
+		return nil, fmt.Errorf("experiments: no SC design for the case study")
+	}
+	cfg := cand.SC.Config()
+	// The dynamic analysis regulates at the core's nominal voltage.
+	cfg.VOut = cs.System.VNominal
+	cfg.Interleave = 32
+	cfg.FSwMax = 500e6
+	return sc.New(cfg)
+}
+
+// Fig10 runs the workload-driven noise analysis. T and dt control the
+// simulated span per cell; zero selects 20 µs at 1 ns.
+func Fig10(T, dt float64) (*Fig10Result, error) {
+	if T <= 0 {
+		T = 20e-6
+	}
+	if dt <= 0 {
+		dt = 1e-9
+	}
+	cs, err := NewCaseSystem()
+	if err != nil {
+		return nil, err
+	}
+	design, err := caseIVRDesign(cs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{
+		CFDTraces:     map[string][]float64{},
+		NoiseByConfig: map[string]float64{},
+		DroopByConfig: map[string]float64{},
+	}
+	for _, benchName := range workload.Names() {
+		bench, err := workload.Get(benchName)
+		if err != nil {
+			return nil, err
+		}
+		for _, nIVR := range noiseConfigs {
+			var nr *pds.NoiseResult
+			if nIVR == 0 {
+				nr, err = cs.System.SimulateOffChipVRM(bench, T, dt)
+			} else {
+				nr, err = cs.System.SimulateIVR(design, nIVR, bench, T, dt)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s / %s: %w", benchName, configName(nIVR), err)
+			}
+			cell := Fig10Cell{
+				Benchmark:  benchName,
+				Config:     nr.Config,
+				Stats:      nr.Stats(),
+				NoiseVpp:   nr.NoiseVpp,
+				WorstDroop: nr.WorstDroop,
+			}
+			res.Cells = append(res.Cells, cell)
+			if nr.NoiseVpp > res.NoiseByConfig[nr.Config] {
+				res.NoiseByConfig[nr.Config] = nr.NoiseVpp
+			}
+			if nr.WorstDroop > res.DroopByConfig[nr.Config] {
+				res.DroopByConfig[nr.Config] = nr.WorstDroop
+			}
+			if benchName == "CFD" {
+				if res.CFDTimes == nil {
+					res.CFDTimes = nr.Times
+				}
+				res.CFDTraces[nr.Config] = nr.VCore
+			}
+		}
+	}
+	return res, nil
+}
+
+// Format renders the box-plot table (Fig. 10).
+func (r *Fig10Result) Format() string {
+	rows := make([][]string, 0, len(r.Cells))
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			c.Benchmark,
+			c.Config,
+			fmt.Sprintf("%.4f", c.Stats.Median),
+			fmt.Sprintf("%.4f", c.Stats.Q1),
+			fmt.Sprintf("%.4f", c.Stats.Q3),
+			fmt.Sprintf("%.4f", c.Stats.Min),
+			fmt.Sprintf("%.4f", c.Stats.Max),
+			fmt.Sprintf("%.1f", c.NoiseVpp*1e3),
+		})
+	}
+	out := "Fig. 10 — voltage-noise statistics per benchmark and VR configuration\n"
+	out += table([]string{"benchmark", "config", "median", "Q1", "Q3", "min", "max", "Vpp(mV)"}, rows)
+	out += "\nWorst-case noise range per configuration:\n"
+	for _, n := range noiseConfigs {
+		name := configName(n)
+		out += fmt.Sprintf("  %-22s %.1f mV (worst droop %.1f mV)\n",
+			name, r.NoiseByConfig[name]*1e3, r.DroopByConfig[name]*1e3)
+	}
+	return out
+}
+
+// FormatFig11 renders the CFD waveform comparison (Fig. 11).
+func (r *Fig10Result) FormatFig11() string {
+	out := "Fig. 11 — CFD supply-voltage traces per VR configuration\n"
+	configs := make([]string, 0, len(noiseConfigs))
+	for _, n := range noiseConfigs {
+		configs = append(configs, configName(n))
+	}
+	out += "Noise ranges: "
+	for i, cfg := range configs {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s %.0f mV", cfg, numeric.PeakToPeak(r.CFDTraces[cfg])*1e3)
+	}
+	out += "\n"
+	// Waveform excerpt.
+	n := len(r.CFDTimes)
+	step := n / 16
+	if step < 1 {
+		step = 1
+	}
+	header := append([]string{"t(us)"}, configs...)
+	rows := [][]string{}
+	for k := 0; k < n; k += step {
+		row := []string{fmt.Sprintf("%.2f", r.CFDTimes[k]*1e6)}
+		for _, cfg := range configs {
+			row = append(row, fmt.Sprintf("%.4f", r.CFDTraces[cfg][k]))
+		}
+		rows = append(rows, row)
+	}
+	out += table(header, rows)
+	return out
+}

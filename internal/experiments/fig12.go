@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ivory/internal/core"
+)
+
+// Fig12Point is one area budget's best-efficiency outcome per family.
+type Fig12Point struct {
+	// AreaMM2 is the budget in mm².
+	AreaMM2 float64
+	// EffSC, EffBuck, EffLDO are the best efficiencies (negative when
+	// infeasible at this budget).
+	EffSC, EffBuck, EffLDO float64
+}
+
+// Fig12Result reproduces the paper's Fig. 12: the IVR efficiency trade-off
+// with area. SC efficiency climbs steeply with capacitance area and
+// overtakes the buck once the budget affords enough flying capacitance;
+// the LDO is area-insensitive but ratio-bound.
+type Fig12Result struct {
+	Points []Fig12Point
+	// CrossoverMM2 is the smallest budget where SC beats buck (0 when it
+	// never does in the sweep).
+	CrossoverMM2 float64
+}
+
+// Fig12 sweeps the area budget for the case-study operating point.
+func Fig12() (*Fig12Result, error) {
+	cs, err := NewCaseSystem()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{}
+	for _, areaMM2 := range []float64{2, 4, 6, 10, 14, 20, 28, 40} {
+		spec := cs.Spec
+		spec.AreaMax = areaMM2 * 1e-6
+		pt := Fig12Point{AreaMM2: areaMM2, EffSC: -1, EffBuck: -1, EffLDO: -1}
+		r, err := core.Explore(spec)
+		if err == nil {
+			if c, ok := r.BestOfKind(core.KindSC); ok {
+				pt.EffSC = c.Metrics.Efficiency
+			}
+			if c, ok := r.BestOfKind(core.KindBuck); ok {
+				pt.EffBuck = c.Metrics.Efficiency
+			}
+			if c, ok := r.BestOfKind(core.KindLDO); ok {
+				pt.EffLDO = c.Metrics.Efficiency
+			}
+		}
+		if res.CrossoverMM2 == 0 && pt.EffSC > pt.EffBuck && pt.EffSC > 0 && pt.EffBuck > 0 {
+			res.CrossoverMM2 = areaMM2
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Format renders the trade-off table.
+func (r *Fig12Result) Format() string {
+	rows := make([][]string, 0, len(r.Points))
+	fmtEff := func(e float64) string {
+		if e < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", e*100)
+	}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", p.AreaMM2),
+			fmtEff(p.EffSC),
+			fmtEff(p.EffBuck),
+			fmtEff(p.EffLDO),
+		})
+	}
+	out := "Fig. 12 — IVR efficiency trade-off with area budget\n"
+	out += table([]string{"area(mm2)", "SC(%)", "buck(%)", "LDO(%)"}, rows)
+	if r.CrossoverMM2 > 0 {
+		out += fmt.Sprintf("SC overtakes buck at ~%.0f mm2\n", r.CrossoverMM2)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ivory/internal/sc"
+	"ivory/internal/tech"
+	"ivory/internal/topology"
+)
+
+// GearsResult studies a reconfigurable (gear-shifting) SC converter of the
+// style the paper validates in Fig. 7's left plot: one 32 nm fabric that
+// reconfigures between the 3:2 and 2:1 ratios, with the governor selecting
+// the better gear per output voltage — the DVFS-companion behaviour.
+type GearsResult struct {
+	// VOut / Envelope / Gear trace the best-gear efficiency envelope.
+	VOut, Envelope []float64
+	Gear           []int
+	// GearNames labels the gears.
+	GearNames []string
+	// ShiftV are the gear-shift voltages found on the envelope.
+	ShiftV []float64
+}
+
+// Gears runs the envelope sweep.
+func Gears() (*GearsResult, error) {
+	var gears []*topology.Analysis
+	names := []string{"2:1", "3:2"}
+	for _, pq := range [][2]int{{2, 1}, {3, 2}} {
+		top, err := topology.SeriesParallel(pq[0], pq[1])
+		if err != nil {
+			return nil, err
+		}
+		an, err := top.Analyze()
+		if err != nil {
+			return nil, err
+		}
+		gears = append(gears, an)
+	}
+	base := sc.Config{
+		Node:    tech.MustLookup("32nm"),
+		CapKind: tech.DeepTrench,
+		VIn:     1.8,
+		VOut:    0.8,
+		CTotal:  60e-9,
+		GTotal:  150,
+		CDecap:  15e-9,
+	}
+	r, err := sc.NewReconfigurable(base, gears)
+	if err != nil {
+		return nil, err
+	}
+	iLoad := 0.3
+	vout, eff, gear := r.EfficiencyEnvelope(iLoad, 0.60, 1.15, 23)
+	if len(vout) == 0 {
+		return nil, fmt.Errorf("experiments: empty gear envelope")
+	}
+	return &GearsResult{
+		VOut:      vout,
+		Envelope:  eff,
+		Gear:      gear,
+		GearNames: names,
+		ShiftV:    r.ShiftPoints(iLoad, 0.60, 1.15, 23),
+	}, nil
+}
+
+// Format renders the envelope.
+func (r *GearsResult) Format() string {
+	rows := make([][]string, 0, len(r.VOut))
+	for i := range r.VOut {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.3f", r.VOut[i]),
+			fmt.Sprintf("%.1f", r.Envelope[i]*100),
+			r.GearNames[r.Gear[i]],
+		})
+	}
+	out := "Extension — reconfigurable (gear-shifting) SC converter envelope\n"
+	out += table([]string{"Vout(V)", "eff(%)", "gear"}, rows)
+	for _, s := range r.ShiftV {
+		out += fmt.Sprintf("gear shift at ~%.2f V\n", s)
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ivory/internal/grid"
+)
+
+// GridScaleRow is one distribution count's geometric grid analysis.
+type GridScaleRow struct {
+	// N is the IVR count; Taps the chosen placements.
+	N    int
+	Taps []grid.Point
+	// REff is the worst-case effective grid resistance over the cores
+	// (ohm), and Ratio its value relative to the centralized case.
+	REff, Ratio float64
+	// InvN is the 1/N reference the lumped PDS model assumes.
+	InvN float64
+}
+
+// GridScaleResult grounds the PDS model's "grid impedance divided by the
+// IVR count" assumption in floorplan geometry: a 2-D mesh of the 4-SM die
+// with IVR taps placed by the heuristic, solved exactly.
+type GridScaleResult struct {
+	MeshW, MeshH int
+	RTile        float64
+	Rows         []GridScaleRow
+}
+
+// GridScale runs the placement study on a 24x24-tile mesh of the
+// case-study die.
+func GridScale() (*GridScaleResult, error) {
+	// 20 mm2 die -> ~4.5 mm on a side; 24 tiles of ~190 um at ~27 mohm/sq
+	// sheet and a handful of squares per tile link.
+	m, err := grid.NewMesh(24, 24, 0.05)
+	if err != nil {
+		return nil, err
+	}
+	centers := m.QuadCores()
+	// Each SM occupies a 3x3-tile region around its center; the worst tile
+	// of any region sets the spreading resistance (a regulator tap cannot
+	// cover a whole core).
+	var region []grid.Point
+	for _, c := range centers {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				region = append(region, grid.Point{X: c.X + dx, Y: c.Y + dy})
+			}
+		}
+	}
+	res := &GridScaleResult{MeshW: m.W, MeshH: m.H, RTile: m.RTile}
+	var r1 float64
+	for _, n := range []int{1, 2, 4, 8} {
+		taps, err := m.PlaceIVRs(n, centers)
+		if err != nil {
+			return nil, err
+		}
+		r, err := m.WorstCaseResistance(taps, region)
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			r1 = r
+		}
+		row := GridScaleRow{N: n, Taps: taps, REff: r, InvN: 1 / float64(n)}
+		if r1 > 0 {
+			row.Ratio = r / r1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the study.
+func (r *GridScaleResult) Format() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.N),
+			fmt.Sprintf("%.4f", row.REff),
+			fmt.Sprintf("%.2f", row.Ratio),
+			fmt.Sprintf("%.2f", row.InvN),
+			fmt.Sprintf("%v", row.Taps),
+		})
+	}
+	return fmt.Sprintf("Extension — grid-resistance scaling with IVR distribution (%dx%d mesh, %.0f mΩ/link)\n",
+		r.MeshW, r.MeshH, r.RTile*1e3) +
+		table([]string{"IVRs", "worst R_eff(Ω)", "vs centralized", "1/N ref", "placements"}, rows)
+}

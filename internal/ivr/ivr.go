@@ -1,0 +1,85 @@
+// Package ivr defines the result types shared by all integrated
+// voltage-regulator models (switched-capacitor, buck, and linear). The
+// static design trade-off module of every topology produces the same
+// Metrics record so that the design-space optimizer can compare topologies
+// commensurately — the paper stresses that modeling the shared building
+// blocks identically across topologies is what makes cross-topology
+// comparisons fair.
+package ivr
+
+import "fmt"
+
+// LossBreakdown itemizes converter power losses (W).
+type LossBreakdown struct {
+	// Conduction covers output-impedance / switch-resistance conduction
+	// loss, including SC regulation loss and buck DCR loss.
+	Conduction float64
+	// GateDrive covers switching loss of the power-switch gates and their
+	// driver chains.
+	GateDrive float64
+	// Parasitic covers drain-junction and bottom-plate capacitor switching
+	// losses.
+	Parasitic float64
+	// Leakage covers switch off-state and capacitor dielectric leakage, and
+	// LDO quiescent current.
+	Leakage float64
+	// Control covers the feedback controller, comparators, and clock
+	// generation.
+	Control float64
+	// Magnetic covers inductor winding (AC+DC) resistance loss for bucks.
+	Magnetic float64
+	// Dropout covers the intrinsic series-pass dissipation of linear
+	// regulators.
+	Dropout float64
+}
+
+// Total returns the summed loss (W).
+func (l LossBreakdown) Total() float64 {
+	return l.Conduction + l.GateDrive + l.Parasitic + l.Leakage + l.Control + l.Magnetic + l.Dropout
+}
+
+// Metrics is the static evaluation of one converter design at one operating
+// point. All powers in watts, voltages in volts, areas in m².
+type Metrics struct {
+	// Topology names the converter (e.g. "series-parallel 3:1 SC").
+	Topology string
+	// VIn and VOut are the operating input/output voltages.
+	VIn, VOut float64
+	// ILoad is the evaluated load current (A).
+	ILoad float64
+	// POut is the delivered output power (W).
+	POut float64
+	// Loss itemizes the converter losses at this point.
+	Loss LossBreakdown
+	// Efficiency is POut / (POut + Loss.Total()).
+	Efficiency float64
+	// RippleVpp is the static peak-to-peak output voltage ripple (V).
+	RippleVpp float64
+	// FSw is the switching frequency used at this point (Hz); zero for
+	// linear regulators.
+	FSw float64
+	// AreaDie is the silicon area of the converter (m²); AreaBoard is any
+	// board/package footprint (discrete inductors, etc.).
+	AreaDie, AreaBoard float64
+}
+
+// String summarizes the metrics for logs and reports.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s: %.3gV->%.3gV @%.3gA eff=%.1f%% ripple=%.2gmV fsw=%.3gMHz area=%.3gmm2",
+		m.Topology, m.VIn, m.VOut, m.ILoad, m.Efficiency*100, m.RippleVpp*1e3, m.FSw/1e6, m.AreaDie*1e6)
+}
+
+// InfeasibleError reports that a design cannot meet its operating point.
+type InfeasibleError struct {
+	Design string
+	Reason string
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("ivr: %s infeasible: %s", e.Design, e.Reason)
+}
+
+// Infeasible constructs an InfeasibleError.
+func Infeasible(design, format string, args ...any) error {
+	return &InfeasibleError{Design: design, Reason: fmt.Sprintf(format, args...)}
+}

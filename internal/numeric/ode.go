@@ -1,0 +1,133 @@
+package numeric
+
+import "fmt"
+
+// DerivFunc computes dx/dt = f(t, x) into dst. dst and x have the same
+// length; implementations must not retain either slice.
+type DerivFunc func(t float64, x, dst []float64)
+
+// RK4Step advances the ODE dx/dt = f(t, x) by one classical Runge-Kutta step
+// of size h, writing the result into x in place. scratch must provide at
+// least 5*len(x) float64s of workspace (allocated by the caller so that tight
+// simulation loops stay allocation-free).
+func RK4Step(f DerivFunc, t float64, x []float64, h float64, scratch []float64) {
+	n := len(x)
+	if len(scratch) < 5*n {
+		panic(fmt.Sprintf("numeric: RK4Step scratch too small: %d < %d", len(scratch), 5*n))
+	}
+	k1 := scratch[0*n : 1*n]
+	k2 := scratch[1*n : 2*n]
+	k3 := scratch[2*n : 3*n]
+	k4 := scratch[3*n : 4*n]
+	tmp := scratch[4*n : 5*n]
+
+	f(t, x, k1)
+	for i := 0; i < n; i++ {
+		tmp[i] = x[i] + 0.5*h*k1[i]
+	}
+	f(t+0.5*h, tmp, k2)
+	for i := 0; i < n; i++ {
+		tmp[i] = x[i] + 0.5*h*k2[i]
+	}
+	f(t+0.5*h, tmp, k3)
+	for i := 0; i < n; i++ {
+		tmp[i] = x[i] + h*k3[i]
+	}
+	f(t+h, tmp, k4)
+	for i := 0; i < n; i++ {
+		x[i] += h / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+	}
+}
+
+// IntegrateRK4 integrates dx/dt = f(t, x) from t0 to t1 with fixed step h,
+// starting from x0. It returns the sampled times and a snapshot of the state
+// at each time (including t0). The final step is shortened to land exactly
+// on t1.
+func IntegrateRK4(f DerivFunc, t0, t1, h float64, x0 []float64) (ts []float64, xs [][]float64) {
+	if h <= 0 {
+		panic("numeric: IntegrateRK4 requires h > 0")
+	}
+	n := len(x0)
+	x := make([]float64, n)
+	copy(x, x0)
+	scratch := make([]float64, 5*n)
+	t := t0
+	snapshot := func() {
+		s := make([]float64, n)
+		copy(s, x)
+		ts = append(ts, t)
+		xs = append(xs, s)
+	}
+	snapshot()
+	for t < t1-1e-15*(t1-t0) {
+		step := h
+		if t+step > t1 {
+			step = t1 - t
+		}
+		RK4Step(f, t, x, step, scratch)
+		t += step
+		snapshot()
+	}
+	return ts, xs
+}
+
+// LinearSystem describes the LTI state-space system
+//
+//	dx/dt = A*x + B*u(t)
+//
+// integrated with the unconditionally stable trapezoidal rule. Circuit
+// networks (PDNs with decaps) are stiff — explicit RK4 would need steps at
+// the smallest parasitic time constant — so the implicit trapezoidal method
+// is the workhorse for PDN transients, exactly as in SPICE.
+type LinearSystem struct {
+	A *Matrix
+	B *Matrix
+
+	h    float64
+	lhs  *LU     // factorization of (I - h/2 A)
+	rhsM *Matrix // (I + h/2 A)
+	bh   *Matrix // h/2 * B
+}
+
+// NewLinearSystem prepares a trapezoidal stepper with fixed step h for the
+// system (A, B). The factorization of (I - h/2*A) is reused for every step.
+func NewLinearSystem(a, b *Matrix, h float64) (*LinearSystem, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("numeric: A must be square, got %dx%d", a.Rows, a.Cols)
+	}
+	if b.Rows != a.Rows {
+		return nil, fmt.Errorf("numeric: B row count %d must match A dimension %d", b.Rows, a.Rows)
+	}
+	n := a.Rows
+	lhs := Identity(n)
+	rhs := Identity(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			lhs.Add(i, j, -h/2*a.At(i, j))
+			rhs.Add(i, j, h/2*a.At(i, j))
+		}
+	}
+	f, err := Factorize(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("numeric: trapezoidal LHS singular (step %g too large?): %w", h, err)
+	}
+	bh := b.Clone().Scale(h / 2)
+	return &LinearSystem{A: a, B: b, h: h, lhs: f, rhsM: rhs, bh: bh}, nil
+}
+
+// Step advances x (in place) by one trapezoidal step given the input vector
+// at the current time (u0) and at the next time (u1):
+//
+//	(I - h/2 A) x_{k+1} = (I + h/2 A) x_k + h/2 B (u_k + u_{k+1})
+func (s *LinearSystem) Step(x, u0, u1 []float64) {
+	rhs := s.rhsM.MulVec(x)
+	bu0 := s.bh.MulVec(u0)
+	bu1 := s.bh.MulVec(u1)
+	for i := range rhs {
+		rhs[i] += bu0[i] + bu1[i]
+	}
+	copy(x, s.lhs.Solve(rhs))
+}
+
+// StepSize returns the fixed step the system was prepared with.
+func (s *LinearSystem) StepSize() float64 { return s.h }

@@ -1,0 +1,157 @@
+package numeric
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample, matching what the
+// paper's box plots (Fig. 10) display.
+type Summary struct {
+	N              int
+	Min, Max       float64
+	Mean, Std      float64
+	Q1, Median, Q3 float64
+	// WhiskerLo/WhiskerHi follow the Tukey convention: the most extreme
+	// samples within 1.5*IQR of the quartiles.
+	WhiskerLo, WhiskerHi float64
+}
+
+// Summarize computes descriptive statistics of xs. An empty sample returns
+// the zero Summary.
+func Summarize(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	var sum, sumsq float64
+	for _, v := range s {
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	out := Summary{
+		N:      n,
+		Min:    s[0],
+		Max:    s[n-1],
+		Mean:   mean,
+		Std:    math.Sqrt(variance),
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+	}
+	iqr := out.Q3 - out.Q1
+	lo, hi := out.Q1-1.5*iqr, out.Q3+1.5*iqr
+	out.WhiskerLo, out.WhiskerHi = out.Max, out.Min
+	for _, v := range s {
+		if v >= lo && v < out.WhiskerLo {
+			out.WhiskerLo = v
+		}
+		if v <= hi && v > out.WhiskerHi {
+			out.WhiskerHi = v
+		}
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return s[n-1]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+	}
+	return sum / float64(len(xs))
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on an empty slice
+// because a min/max of nothing is a caller bug, not a data condition.
+func MinMax(xs []float64) (mn, mx float64) {
+	if len(xs) == 0 {
+		panic("numeric: MinMax of empty slice")
+	}
+	mn, mx = xs[0], xs[0]
+	for _, v := range xs[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}
+
+// PeakToPeak returns max(xs) - min(xs), the voltage-noise range metric used
+// throughout the case study.
+func PeakToPeak(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mn, mx := MinMax(xs)
+	return mx - mn
+}
+
+// RMS returns the root-mean-square of xs.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range xs {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

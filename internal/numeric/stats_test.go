@@ -1,0 +1,137 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("basic fields wrong: %+v", s)
+	}
+	if s.Mean != 3 || s.Median != 3 {
+		t.Errorf("mean/median wrong: %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Error("empty sample should be zero Summary")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 {
+		t.Error("quantile edge cases wrong")
+	}
+	if Quantile(xs, 0.5) != 2 {
+		t.Error("median wrong")
+	}
+	if Quantile([]float64{7}, 0.3) != 7 {
+		t.Error("single-element quantile wrong")
+	}
+}
+
+func TestPeakToPeakAndRMS(t *testing.T) {
+	xs := []float64{-1, 0, 3}
+	if PeakToPeak(xs) != 4 {
+		t.Error("PeakToPeak wrong")
+	}
+	if math.Abs(RMS([]float64{3, 4})-math.Sqrt(12.5)) > 1e-12 {
+		t.Error("RMS wrong")
+	}
+	if PeakToPeak(nil) != 0 || RMS(nil) != 0 {
+		t.Error("empty-slice behavior wrong")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp wrong")
+	}
+}
+
+// Property: whiskers always lie within [Min, Max] and quartiles are ordered.
+func TestSummarizeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		ordered := s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+		whiskOK := s.WhiskerLo >= s.Min && s.WhiskerHi <= s.Max && s.WhiskerLo <= s.WhiskerHi
+		return ordered && whiskOK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PeakToPeak is translation invariant and non-negative.
+func TestPeakToPeakInvariance(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = xs[i] + shift
+		}
+		p1, p2 := PeakToPeak(xs), PeakToPeak(ys)
+		return p1 >= 0 && math.Abs(p1-p2) < 1e-9*(1+math.Abs(shift))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectAndBrent(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	r1, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1-math.Sqrt2) > 1e-10 {
+		t.Errorf("Bisect = %v", r1)
+	}
+	r2, err := Brent(f, 0, 2, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2-math.Sqrt2) > 1e-10 {
+		t.Errorf("Brent = %v", r2)
+	}
+	if _, err := Bisect(f, 5, 6, 1e-9); err == nil {
+		t.Error("expected ErrNoBracket")
+	}
+	if _, err := Brent(f, 5, 6, 1e-9); err == nil {
+		t.Error("expected ErrNoBracket")
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	// Minimum of (x-3)^2 + 1.
+	xm := GoldenSectionMin(func(x float64) float64 { return (x-3)*(x-3) + 1 }, 0, 10, 1e-9)
+	if math.Abs(xm-3) > 1e-6 {
+		t.Errorf("GoldenSectionMin = %v", xm)
+	}
+	xM := GoldenSectionMax(func(x float64) float64 { return -(x - 4) * (x - 4) }, 0, 10, 1e-9)
+	if math.Abs(xM-4) > 1e-6 {
+		t.Errorf("GoldenSectionMax = %v", xM)
+	}
+}

@@ -1,0 +1,362 @@
+// Package pds composes complete power-delivery subsystems — off-chip VRM +
+// PDN + optional on-chip IVRs + digital loads — and evaluates them the way
+// the paper's case study does (§5): workload-driven voltage-noise traces
+// per configuration (Figs. 10-11), guardband extraction, and the final
+// source-to-core power breakdown and delivery efficiency (Fig. 13).
+//
+// Configurations compared:
+//
+//   - Off-chip VRM: conversion at the board, the full PDN carries the core
+//     current at core voltage — large IR drop and the package-resonance
+//     first droop set a wide guardband.
+//   - Centralized / distributed IVRs: the PDN carries current at the board
+//     voltage (3.3 V), an on-chip SC converter regulates near the load, and
+//     distributing N IVRs shrinks the residual on-chip grid impedance per
+//     core by ~1/N — the mechanism behind the paper's finding that four
+//     distributed IVRs minimize noise.
+package pds
+
+import (
+	"fmt"
+
+	"ivory/internal/dynamic"
+	"ivory/internal/grid"
+	"ivory/internal/numeric"
+	"ivory/internal/pdn"
+	"ivory/internal/sc"
+	"ivory/internal/workload"
+)
+
+// System describes the manycore platform under study.
+type System struct {
+	// Cores is the number of SM-class cores (the paper uses 4).
+	Cores int
+	// TDPPerCore is each core's average power (W) at nominal voltage.
+	TDPPerCore float64
+	// VNominal is the core's nominal supply (V).
+	VNominal float64
+	// VSource is the board supply feeding the PDS (V).
+	VSource float64
+	// Load is the per-core current model.
+	Load workload.LoadModel
+	// GridR and GridL are the on-chip grid impedance from a centralized
+	// regulation point to a core; distributing N IVRs divides both by N.
+	GridR, GridL float64
+	// Network is the off-chip PDN (board + package + die).
+	Network *pdn.Network
+	// Seed makes workload synthesis reproducible.
+	Seed int64
+}
+
+// CalibrateGridFromMesh derives the System's lumped grid resistance from
+// floorplan geometry: the worst-case effective resistance of a centralized
+// regulator placement on the given mesh over the core sites. The dynamic
+// analysis then divides it by the distribution count as before, an
+// approximation the grid-scaling study (ivory-exp gridscale) quantifies.
+func (s *System) CalibrateGridFromMesh(m *grid.Mesh) error {
+	if m == nil {
+		return fmt.Errorf("pds: nil mesh")
+	}
+	cores := m.QuadCores()
+	taps, err := m.PlaceIVRs(1, cores)
+	if err != nil {
+		return err
+	}
+	r, err := m.WorstCaseResistance(taps, cores)
+	if err != nil {
+		return err
+	}
+	s.GridR = r
+	return nil
+}
+
+// Validate checks the system description.
+func (s *System) Validate() error {
+	if s.Cores < 1 {
+		return fmt.Errorf("pds: need at least one core")
+	}
+	if s.TDPPerCore <= 0 || s.VNominal <= 0 || s.VSource <= s.VNominal {
+		return fmt.Errorf("pds: TDPPerCore, VNominal must be positive and VSource above VNominal")
+	}
+	if err := s.Load.Validate(); err != nil {
+		return err
+	}
+	if s.GridR < 0 || s.GridL < 0 {
+		return fmt.Errorf("pds: negative grid impedance")
+	}
+	if s.Network == nil {
+		return fmt.Errorf("pds: off-chip network is required")
+	}
+	return nil
+}
+
+// NoiseResult is the outcome of one configuration x benchmark simulation.
+type NoiseResult struct {
+	// Config names the PDS configuration ("off-chip VRM", "1 IVR", ...).
+	Config string
+	// Benchmark is the workload name.
+	Benchmark string
+	// Times and VCore sample the worst core's supply voltage.
+	Times, VCore []float64
+	// NoiseVpp is max-min of VCore.
+	NoiseVpp float64
+	// WorstDroop is VNominal - min(VCore).
+	WorstDroop float64
+}
+
+func (s *System) coreCurrents(bench workload.Benchmark, dt float64, n int, v float64) [][]float64 {
+	out := make([][]float64, s.Cores)
+	for c := 0; c < s.Cores; c++ {
+		p := bench.PowerTrace(s.TDPPerCore, dt, n, s.Seed+int64(c)*1000+int64(len(bench.Name)))
+		out[c] = s.Load.CurrentTrace(p, v)
+	}
+	return out
+}
+
+func sumTraces(traces [][]float64) []float64 {
+	if len(traces) == 0 {
+		return nil
+	}
+	out := make([]float64, len(traces[0]))
+	for _, tr := range traces {
+		for i, v := range tr {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// gridDrop subtracts the local grid IR + L·di/dt drop of the first core's
+// current from the regulated node voltage.
+func gridDrop(vReg, iCore []float64, dt, r, l float64) []float64 {
+	out := make([]float64, len(vReg))
+	for k := range vReg {
+		drop := iCore[k] * r
+		if k > 0 && l > 0 {
+			drop += l * (iCore[k] - iCore[k-1]) / dt
+		}
+		out[k] = vReg[k] - drop
+	}
+	return out
+}
+
+// SimulateOffChipVRM produces the core voltage trace for the conventional
+// configuration: regulation at the board, the PDN carrying the summed core
+// current at core voltage. The VRM output is assumed ripple-free (paper
+// §2.2), so all noise comes from PDN impedance.
+func (s *System) SimulateOffChipVRM(bench workload.Benchmark, T, dt float64) (*NoiseResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(T / dt)
+	if n < 16 {
+		return nil, fmt.Errorf("pds: trace too short (%d samples)", n)
+	}
+	cores := s.coreCurrents(bench, dt, n, s.VNominal)
+	total := sumTraces(cores)
+	load := dynamic.Sampled(total, dt)
+	ts, vs, err := s.Network.Transient(s.VNominal, func(t float64) float64 { return load(t) }, dt, T)
+	if err != nil {
+		return nil, err
+	}
+	// Clip to n samples for uniformity.
+	if len(vs) > n {
+		ts, vs = ts[:n], vs[:n]
+	}
+	// Without on-chip regulation the full grid span from the C4 region to
+	// the core applies (the same span a centralized IVR would see).
+	vCore := gridDrop(vs, cores[0][:len(vs)], dt, s.GridR, s.GridL)
+	res := &NoiseResult{
+		Config:    "off-chip VRM",
+		Benchmark: bench.Name,
+		Times:     ts,
+		VCore:     vCore,
+	}
+	res.finishStats(s.VNominal)
+	return res, nil
+}
+
+// SimulateIVR produces the core voltage trace for an n-IVR configuration.
+// base is the total on-chip converter design (sized for the whole chip);
+// it is split evenly across the n IVR instances, each serving Cores/n
+// cores. The worst (first) core of the first IVR is traced: regulated IVR
+// output minus its local grid drop of GridR/n, GridL/n.
+func (s *System) SimulateIVR(base *sc.Design, nIVR int, bench workload.Benchmark, T, dt float64) (*NoiseResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if nIVR < 1 || nIVR > s.Cores {
+		return nil, fmt.Errorf("pds: IVR count %d outside [1, %d]", nIVR, s.Cores)
+	}
+	if s.Cores%nIVR != 0 {
+		return nil, fmt.Errorf("pds: %d IVRs cannot evenly serve %d cores", nIVR, s.Cores)
+	}
+	steps := int(T / dt)
+	if steps < 16 {
+		return nil, fmt.Errorf("pds: trace too short (%d samples)", steps)
+	}
+	// Split the total converter across instances.
+	cfg := base.Config()
+	cfg.CTotal /= float64(nIVR)
+	cfg.GTotal /= float64(nIVR)
+	cfg.CDecap /= float64(nIVR)
+	if cfg.Interleave >= nIVR {
+		cfg.Interleave /= nIVR
+	}
+	inst, err := sc.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("pds: per-IVR design: %w", err)
+	}
+	coresPerIVR := s.Cores / nIVR
+	all := s.coreCurrents(bench, dt, steps, s.VNominal)
+	ivrLoad := sumTraces(all[:coresPerIVR])
+	// Clock the hysteretic loop for the per-IVR worst-case load.
+	_, iPk := numeric.MinMax(ivrLoad)
+	params, err := dynamic.SCFromDesignAtLoad(inst, iPk*1.2)
+	if err != nil {
+		return nil, fmt.Errorf("pds: IVR cannot sustain the peak load: %w", err)
+	}
+	sim := &dynamic.SCSimulator{P: params}
+	// The in-cycle step must resolve the interleaved pump ticks; refine
+	// below the requested dt if needed and decimate afterwards.
+	nSlices := params.Interleave
+	if nSlices == 0 {
+		nSlices = 1
+	}
+	tick := 1 / (params.FClk * float64(nSlices))
+	factor := 1
+	for dt/float64(factor) > tick {
+		factor++
+	}
+	dtSim := dt / float64(factor)
+	tr, err := sim.Run(dynamic.Sampled(ivrLoad, dt), dynamic.Constant(s.VNominal), T, dtSim)
+	if err != nil {
+		return nil, err
+	}
+	vReg := make([]float64, steps)
+	times := make([]float64, steps)
+	for k := 0; k < steps; k++ {
+		vReg[k] = tr.V[k*factor]
+		times[k] = tr.Times[k*factor]
+	}
+	// Local grid segment shrinks with distribution.
+	vCore := gridDrop(vReg, all[0][:steps], dt, s.GridR/float64(nIVR), s.GridL/float64(nIVR))
+	name := fmt.Sprintf("%d distributed IVRs", nIVR)
+	if nIVR == 1 {
+		name = "centralized IVR"
+	}
+	res := &NoiseResult{
+		Config:    name,
+		Benchmark: bench.Name,
+		Times:     times,
+		VCore:     vCore,
+	}
+	res.finishStats(s.VNominal)
+	return res, nil
+}
+
+func (r *NoiseResult) finishStats(vNom float64) {
+	r.NoiseVpp = numeric.PeakToPeak(r.VCore)
+	if len(r.VCore) > 0 {
+		mn, _ := numeric.MinMax(r.VCore)
+		r.WorstDroop = vNom - mn
+	}
+}
+
+// Stats returns the distribution summary of the core voltage (box-plot
+// inputs for Fig. 10).
+func (r *NoiseResult) Stats() numeric.Summary { return numeric.Summarize(r.VCore) }
+
+// Breakdown itemizes source-to-core power for one configuration (Fig. 13).
+type Breakdown struct {
+	// Config names the configuration.
+	Config string
+	// PCoreUseful is the computation power at nominal voltage (W).
+	PCoreUseful float64
+	// PMargin is the extra core power burned because the supply must sit
+	// above nominal by the guardband (dynamic power rises ~quadratically).
+	PMargin float64
+	// PGridIR is on-chip grid conduction loss (W).
+	PGridIR float64
+	// PIVRLoss is the IVR conversion loss (W); zero for the off-chip case.
+	PIVRLoss float64
+	// PPDNIR is the off-chip board+package conduction loss (W).
+	PPDNIR float64
+	// PVRMLoss is the off-chip VRM conversion loss (W).
+	PVRMLoss float64
+	// PSource is the total power drawn from the source (W).
+	PSource float64
+	// Efficiency is PCoreUseful / PSource — the paper's power-delivery
+	// efficiency metric.
+	Efficiency float64
+}
+
+// BreakdownParams supplies the conversion efficiencies measured elsewhere.
+type BreakdownParams struct {
+	// Margin is the voltage guardband (V) from the noise analysis.
+	Margin float64
+	// IVREfficiency is the IVR conversion efficiency at the operating
+	// point (0 for the off-chip configuration).
+	IVREfficiency float64
+	// VRMEfficiency is the off-chip VRM efficiency for the voltage it
+	// must produce in this configuration.
+	VRMEfficiency float64
+	// NumIVRs is the distribution count (0 = off-chip configuration).
+	NumIVRs int
+	// Config labels the result.
+	Config string
+}
+
+// PowerBreakdown computes the steady-state power ladder for one
+// configuration at full activity.
+func (s *System) PowerBreakdown(p BreakdownParams) (Breakdown, error) {
+	if err := s.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if p.Margin < 0 {
+		return Breakdown{}, fmt.Errorf("pds: negative margin")
+	}
+	if p.VRMEfficiency <= 0 || p.VRMEfficiency > 1 {
+		return Breakdown{}, fmt.Errorf("pds: VRM efficiency %g outside (0, 1]", p.VRMEfficiency)
+	}
+	if p.NumIVRs > 0 && (p.IVREfficiency <= 0 || p.IVREfficiency > 1) {
+		return Breakdown{}, fmt.Errorf("pds: IVR efficiency %g outside (0, 1]", p.IVREfficiency)
+	}
+	b := Breakdown{Config: p.Config}
+	pCore := s.TDPPerCore * float64(s.Cores)
+	b.PCoreUseful = pCore
+	vOp := s.VNominal + p.Margin
+	// Dynamic power scales with V² at fixed frequency; the load model's
+	// leakage fraction scales faster but we fold it into the same factor.
+	scale := vOp * vOp / (s.VNominal * s.VNominal)
+	pCoreActual := pCore * scale
+	b.PMargin = pCoreActual - pCore
+
+	rPDN := s.Network.TotalR()
+	if p.NumIVRs == 0 {
+		// Board VRM converts source to vOp; PDN carries core current, and
+		// each core still sits behind the full-span on-chip grid segment.
+		iCore := pCoreActual / float64(s.Cores) / vOp
+		b.PGridIR = float64(s.Cores) * iCore * iCore * s.GridR
+		iPDN := pCoreActual / vOp
+		b.PPDNIR = iPDN * iPDN * rPDN
+		vrmOut := pCoreActual + b.PGridIR + b.PPDNIR
+		b.PVRMLoss = vrmOut * (1 - p.VRMEfficiency) / p.VRMEfficiency
+		b.PSource = vrmOut + b.PVRMLoss
+	} else {
+		// Per-core current through its local grid share.
+		iCore := pCoreActual / float64(s.Cores) / vOp
+		rGrid := s.GridR / float64(p.NumIVRs)
+		b.PGridIR = float64(s.Cores) * iCore * iCore * rGrid
+		ivrOut := pCoreActual + b.PGridIR
+		b.PIVRLoss = ivrOut * (1 - p.IVREfficiency) / p.IVREfficiency
+		ivrIn := ivrOut + b.PIVRLoss
+		iPDN := ivrIn / s.VSource
+		b.PPDNIR = iPDN * iPDN * rPDN
+		vrmOut := ivrIn + b.PPDNIR
+		b.PVRMLoss = vrmOut * (1 - p.VRMEfficiency) / p.VRMEfficiency
+		b.PSource = vrmOut + b.PVRMLoss
+	}
+	b.Efficiency = b.PCoreUseful / b.PSource
+	return b, nil
+}

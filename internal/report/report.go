@@ -1,0 +1,80 @@
+// Package report writes experiment data as CSV files, the plot-ready
+// companion to the text tables cmd/ivory-exp prints: one file per figure,
+// one row per data point, ready for any plotting tool.
+package report
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Writer emits CSV files into a directory (created on first use).
+type Writer struct {
+	// Dir is the output directory.
+	Dir string
+	// Written collects the paths written, in order.
+	Written []string
+}
+
+// NewWriter returns a Writer rooted at dir.
+func NewWriter(dir string) *Writer { return &Writer{Dir: dir} }
+
+// CSV writes rows of float64 columns under the given header. The file name
+// gets a .csv suffix if missing.
+func (w *Writer) CSV(name string, header []string, rows [][]float64) error {
+	srows := make([][]string, len(rows))
+	for i, r := range rows {
+		s := make([]string, len(r))
+		for j, v := range r {
+			s[j] = strconv.FormatFloat(v, 'g', 10, 64)
+		}
+		srows[i] = s
+	}
+	return w.CSVStrings(name, header, srows)
+}
+
+// CSVStrings writes pre-formatted rows.
+func (w *Writer) CSVStrings(name string, header []string, rows [][]string) error {
+	if w.Dir == "" {
+		return fmt.Errorf("report: writer has no directory")
+	}
+	if err := os.MkdirAll(w.Dir, 0o755); err != nil {
+		return fmt.Errorf("report: creating %s: %w", w.Dir, err)
+	}
+	if !strings.HasSuffix(name, ".csv") {
+		name += ".csv"
+	}
+	path := filepath.Join(w.Dir, name)
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(escape(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		if len(r) != len(header) {
+			return fmt.Errorf("report: %s: row width %d != header %d", name, len(r), len(header))
+		}
+		writeRow(r)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("report: writing %s: %w", path, err)
+	}
+	w.Written = append(w.Written, path)
+	return nil
+}
+
+func escape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := NewWriter(dir)
+	err := w.CSV("data", []string{"a", "b"}, [][]float64{{1, 2}, {3.5, -4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "data.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 3 || lines[0] != "a,b" || lines[1] != "1,2" {
+		t.Errorf("unexpected content: %q", string(raw))
+	}
+	if len(w.Written) != 1 {
+		t.Errorf("written paths: %v", w.Written)
+	}
+}
+
+func TestCSVStringsEscaping(t *testing.T) {
+	dir := t.TempDir()
+	w := NewWriter(dir)
+	err := w.CSVStrings("x.csv", []string{"name", "note"},
+		[][]string{{`has,comma`, `has "quote"`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(filepath.Join(dir, "x.csv"))
+	want := `"has,comma","has ""quote"""`
+	if !strings.Contains(string(raw), want) {
+		t.Errorf("escaping wrong: %q", string(raw))
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	w := &Writer{}
+	if err := w.CSV("x", []string{"a"}, nil); err == nil {
+		t.Error("missing directory must fail")
+	}
+	w = NewWriter(t.TempDir())
+	if err := w.CSV("x", []string{"a", "b"}, [][]float64{{1}}); err == nil {
+		t.Error("ragged row must fail")
+	}
+}

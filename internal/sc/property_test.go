@@ -1,0 +1,199 @@
+package sc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ivory/internal/tech"
+	"ivory/internal/topology"
+)
+
+// Property: across random valid sizings, the regulated output lands on the
+// target and the realized efficiency stays below the ideal-ratio bound.
+func TestRegulationProperty(t *testing.T) {
+	top, err := topology.SeriesParallel(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := top.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := tech.MustLookup("32nm")
+	f := func(cRaw, gRaw, iRaw uint16) bool {
+		ctot := 10e-9 + float64(cRaw%1000)*1e-10 // 10..110 nF
+		gtot := 50 + float64(gRaw%200)           // 50..250 S
+		iload := 0.05 + float64(iRaw%40)*0.01    // 0.05..0.45 A
+		d, err := New(Config{
+			Analysis: an, Node: node, CapKind: tech.DeepTrench,
+			VIn: 1.8, VOut: 0.8, CTotal: ctot, GTotal: gtot, CDecap: 5e-9,
+		})
+		if err != nil {
+			return false
+		}
+		m, err := d.Evaluate(iload)
+		if err != nil {
+			// Infeasible sizings are allowed, just not wrong answers.
+			return true
+		}
+		if math.Abs(m.VOut-0.8) > 1e-6 {
+			return false
+		}
+		bound := m.VOut / (an.Ratio * 1.8)
+		if m.Efficiency > bound+1e-9 || m.Efficiency <= 0 {
+			return false
+		}
+		return m.AreaDie > 0 && m.RippleVpp >= 0 && m.Loss.Total() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RSSL scales exactly as 1/(C·f): doubling either halves it.
+func TestRSSLScalingProperty(t *testing.T) {
+	top, _ := topology.SeriesParallel(3, 1)
+	an, _ := top.Analyze()
+	node := tech.MustLookup("45nm")
+	f := func(cRaw uint16, fRaw uint16) bool {
+		ctot := 20e-9 + float64(cRaw%500)*1e-10
+		fsw := 10e6 + float64(fRaw%200)*1e6
+		mk := func(c float64) *Design {
+			d, err := New(Config{
+				Analysis: an, Node: node, CapKind: tech.DeepTrench,
+				VIn: 3.3, VOut: 1.0, CTotal: c, GTotal: 100, CDecap: 5e-9,
+			})
+			if err != nil {
+				return nil
+			}
+			return d
+		}
+		d1 := mk(ctot)
+		d2 := mk(2 * ctot)
+		if d1 == nil || d2 == nil {
+			return true
+		}
+		r1 := d1.RSSL(fsw)
+		if math.Abs(d1.RSSL(2*fsw)-r1/2) > 1e-12*r1 {
+			return false
+		}
+		return math.Abs(d2.RSSL(fsw)-r1/2) < 1e-12*r1+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: element values returned by ElementValues reconstruct the
+// design's totals.
+func TestElementValuesConsistency(t *testing.T) {
+	tops := []*topology.Topology{}
+	for p := 2; p <= 5; p++ {
+		tp, err := topology.SeriesParallel(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tops = append(tops, tp)
+	}
+	node := tech.MustLookup("45nm")
+	for _, tp := range tops {
+		an, err := tp.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := New(Config{
+			Analysis: an, Node: node, CapKind: tech.DeepTrench,
+			VIn: 3.3, VOut: 0.9 / float64(3) * 3.3 / 3.3, CTotal: 100e-9, GTotal: 200, CDecap: 5e-9,
+		})
+		if err != nil {
+			// Some ratios cannot hit this target; skip.
+			continue
+		}
+		caps, rons := d.ElementValues()
+		var cSum, gSum float64
+		for _, c := range caps {
+			cSum += c
+		}
+		for _, r := range rons {
+			gSum += 1 / r
+		}
+		if math.Abs(cSum-100e-9)/100e-9 > 1e-9 {
+			t.Errorf("%s: cap sum %v != CTotal", an.Name, cSum)
+		}
+		if math.Abs(gSum-200)/200 > 1e-9 {
+			t.Errorf("%s: conductance sum %v != GTotal", an.Name, gSum)
+		}
+	}
+}
+
+// The two conductance-allocation policies trade regimes. The plain a_r
+// split is the R_FSL-minimizing allocation, so when the droop budget is
+// tight it keeps the regulation frequency — and the C·f_sw-proportional
+// bottom-plate loss — lower. The cost-aware split trades a little R_FSL
+// for cheaper gate drive, winning when the droop budget has slack. The
+// design optimizer tries both; here we pin the slack-budget regime where
+// cost-aware must win.
+func TestCostAwareWinsGateDominatedRegime(t *testing.T) {
+	top, _ := topology.SeriesParallel(3, 1) // mixed core/IO switches at 3.3 V
+	an, _ := top.Analyze()
+	node := tech.MustLookup("45nm")
+	iLoad := 2.0 // R_req = 0.05 ohm >> R_FSL at these conductances
+	f := func(gRaw uint16) bool {
+		gtot := 1500 + float64(gRaw%2000) // generous conductance
+		base := Config{
+			Analysis: an, Node: node, CapKind: tech.DeepTrench,
+			VIn: 3.3, VOut: 1.0, CTotal: 2000e-9, GTotal: gtot, CDecap: 20e-9,
+		}
+		dCA, err1 := New(base)
+		uni := base
+		uni.UniformSwitchAllocation = true
+		dU, err2 := New(uni)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		mCA, err1 := dCA.Evaluate(iLoad)
+		mU, err2 := dU.Evaluate(iLoad)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return mCA.Efficiency >= mU.Efficiency-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// And uniform allocation must always yield the lower (or equal) R_FSL —
+// it is the FSL-optimal split by construction.
+func TestUniformAllocationMinimizesRFSL(t *testing.T) {
+	node := tech.MustLookup("45nm")
+	tops := [][2]int{{2, 1}, {3, 1}, {4, 1}, {3, 2}}
+	for _, pq := range tops {
+		top, err := topology.SeriesParallel(pq[0], pq[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := top.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := Config{
+			Analysis: an, Node: node, CapKind: tech.DeepTrench,
+			VIn: 3.3, VOut: an.Ratio * 3.3 * 0.9, CTotal: 100e-9, GTotal: 500, CDecap: 5e-9,
+		}
+		dCA, err := New(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uni := base
+		uni.UniformSwitchAllocation = true
+		dU, err := New(uni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dU.RFSL() > dCA.RFSL()+1e-12 {
+			t.Errorf("%s: uniform RFSL %v above cost-aware %v", an.Name, dU.RFSL(), dCA.RFSL())
+		}
+	}
+}

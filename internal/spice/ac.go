@@ -1,0 +1,229 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ACResult holds a small-signal frequency sweep: per frequency, the complex
+// node voltages in response to unit-amplitude excitation of the circuit's
+// AC sources.
+type ACResult struct {
+	// Freqs are the analysis frequencies (Hz).
+	Freqs []float64
+	// V maps node name -> complex response per frequency.
+	V map[string][]complex128
+}
+
+// Mag returns |V(node)| at sweep index k (0 for unknown nodes).
+func (r *ACResult) Mag(node string, k int) float64 {
+	w, ok := r.V[node]
+	if !ok {
+		return 0
+	}
+	return cmplx.Abs(w[k])
+}
+
+// PhaseDeg returns the phase of V(node) at sweep index k in degrees.
+func (r *ACResult) PhaseDeg(node string, k int) float64 {
+	w, ok := r.V[node]
+	if !ok {
+		return 0
+	}
+	return cmplx.Phase(w[k]) * 180 / math.Pi
+}
+
+// AC performs linear small-signal analysis across the given frequencies.
+// Every V source contributes its DC value as a *unit* AC magnitude is not
+// assumed: instead, acMag selects the source by name and drives it with
+// amplitude 1 (all other independent sources are zeroed), which is the
+// SPICE ".ac" convention. Switches are frozen in the state their control
+// reports at t = 0. Capacitors and inductors stamp their complex
+// admittances directly, so the result is exact at each frequency (no time
+// stepping).
+//
+// The typical use is impedance extraction: drive a 1 A AC current source
+// into a node and read that node's voltage — it *is* Z(jω).
+func (c *Circuit) AC(freqs []float64, acSource string) (*ACResult, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("spice: AC needs at least one frequency")
+	}
+	found := false
+	for _, e := range c.elems {
+		if (e.kind == kindV || e.kind == kindI) && e.name == acSource {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("spice: AC source %q not found", acSource)
+	}
+	n := len(c.nodeName)
+	nb := 0
+	for _, e := range c.elems {
+		if e.kind == kindV || e.kind == kindVCVS {
+			e.branch = n + nb
+			nb++
+		}
+	}
+	dim := n + nb
+	if dim == 0 {
+		return nil, fmt.Errorf("spice: empty circuit")
+	}
+	res := &ACResult{Freqs: append([]float64(nil), freqs...), V: map[string][]complex128{}}
+	for _, name := range c.nodeName {
+		res.V[name] = make([]complex128, len(freqs))
+	}
+	// Dense complex solve per frequency: small circuits, exactness over
+	// speed.
+	for fi, f := range freqs {
+		omega := 2 * math.Pi * f
+		m := make([]complex128, dim*dim)
+		rhs := make([]complex128, dim)
+		stamp := func(a, b int, y complex128) {
+			if a >= 0 {
+				m[a*dim+a] += y
+			}
+			if b >= 0 {
+				m[b*dim+b] += y
+			}
+			if a >= 0 && b >= 0 {
+				m[a*dim+b] -= y
+				m[b*dim+a] -= y
+			}
+		}
+		for _, e := range c.elems {
+			switch e.kind {
+			case kindR:
+				stamp(e.a, e.b, complex(1/e.value, 0))
+			case kindC:
+				stamp(e.a, e.b, complex(0, omega*e.value))
+			case kindL:
+				if omega == 0 {
+					stamp(e.a, e.b, complex(1e9, 0)) // DC short
+				} else {
+					stamp(e.a, e.b, complex(0, -1/(omega*e.value)))
+				}
+			case kindSW:
+				r := e.roff
+				if e.ctrl(0) {
+					r = e.ron
+				}
+				stamp(e.a, e.b, complex(1/r, 0))
+			case kindV:
+				if e.a >= 0 {
+					m[e.a*dim+e.branch] += 1
+					m[e.branch*dim+e.a] += 1
+				}
+				if e.b >= 0 {
+					m[e.b*dim+e.branch] -= 1
+					m[e.branch*dim+e.b] -= 1
+				}
+				if e.name == acSource {
+					rhs[e.branch] = 1
+				}
+			case kindVCVS:
+				if e.a >= 0 {
+					m[e.a*dim+e.branch] += 1
+					m[e.branch*dim+e.a] += 1
+				}
+				if e.b >= 0 {
+					m[e.b*dim+e.branch] -= 1
+					m[e.branch*dim+e.b] -= 1
+				}
+				if e.cp >= 0 {
+					m[e.branch*dim+e.cp] -= complex(e.gain, 0)
+				}
+				if e.cn >= 0 {
+					m[e.branch*dim+e.cn] += complex(e.gain, 0)
+				}
+			case kindVCCS:
+				g := complex(e.gain, 0)
+				addAt := func(row, col int, v complex128) {
+					if row >= 0 && col >= 0 {
+						m[row*dim+col] += v
+					}
+				}
+				addAt(e.a, e.cp, g)
+				addAt(e.a, e.cn, -g)
+				addAt(e.b, e.cp, -g)
+				addAt(e.b, e.cn, g)
+			case kindI:
+				if e.name == acSource {
+					// Unit AC current driven from b into a (so that the
+					// read voltage at a is +Z for a grounded b).
+					if e.a >= 0 {
+						rhs[e.a] += 1
+					}
+					if e.b >= 0 {
+						rhs[e.b] -= 1
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			m[i*dim+i] += 1e-12
+		}
+		x, err := solveComplex(m, rhs, dim)
+		if err != nil {
+			return nil, fmt.Errorf("spice: AC solve failed at %g Hz: %w", f, err)
+		}
+		for i, name := range c.nodeName {
+			res.V[name][fi] = x[i]
+		}
+	}
+	return res, nil
+}
+
+// solveComplex is dense complex Gaussian elimination with partial pivoting.
+func solveComplex(m []complex128, b []complex128, n int) ([]complex128, error) {
+	a := make([]complex128, len(m))
+	copy(a, m)
+	x := make([]complex128, n)
+	copy(x, b)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p, mx := k, cmplx.Abs(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if ab := cmplx.Abs(a[i*n+k]); ab > mx {
+				p, mx = i, ab
+			}
+		}
+		if mx < 1e-300 {
+			return nil, fmt.Errorf("singular complex matrix")
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[p*n+j], a[k*n+j] = a[k*n+j], a[p*n+j]
+			}
+			x[p], x[k] = x[k], x[p]
+		}
+		piv := a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := a[i*n+k] / piv
+			if l == 0 {
+				continue
+			}
+			a[i*n+k] = 0
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= l * a[k*n+j]
+			}
+			x[i] -= l * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * x[j]
+		}
+		x[i] = s / a[i*n+i]
+	}
+	return x, nil
+}

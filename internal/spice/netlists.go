@@ -1,0 +1,176 @@
+package spice
+
+import (
+	"fmt"
+
+	"ivory/internal/topology"
+)
+
+// SCOptions parameterizes a switch-level SC converter testbench.
+type SCOptions struct {
+	// VIn is the input supply voltage (V).
+	VIn float64
+	// FSw is the two-phase switching frequency (Hz).
+	FSw float64
+	// CLoad is the output decoupling capacitance (F).
+	CLoad float64
+	// ILoad is the DC load current (A); use Load for a time-varying one.
+	ILoad float64
+	// Load, when non-nil, overrides ILoad with a waveform.
+	Load Waveform
+	// DeadFrac is the clock dead-time fraction; defaults to 0.02.
+	DeadFrac float64
+	// VOutIC pre-charges the output capacitor; zero selects the ideal
+	// no-load level Ratio*VIn. Setting it to the expected regulated level
+	// starts the converter in (near) periodic steady state.
+	VOutIC float64
+}
+
+// BuildSC converts a two-phase SC topology plus element values (per-cap
+// capacitance, per-switch on-resistance — e.g. from sc.Design.ElementValues)
+// into a switch-level netlist. Capacitors start pre-charged at their ideal
+// DC voltages, and the output at the ideal ratio, so that periodic steady
+// state is reached within a few switching cycles.
+//
+// Node names: "vin", "vout", ground "0", internal "n<k>". The input source
+// is "vsrc"; the load current source is "iload".
+func BuildSC(top *topology.Topology, an *topology.Analysis, caps, rons []float64, opt SCOptions) (*Circuit, error) {
+	if top == nil || an == nil {
+		return nil, fmt.Errorf("spice: BuildSC needs a topology and its analysis")
+	}
+	if len(caps) != len(top.Caps) || len(rons) != len(top.Switches) {
+		return nil, fmt.Errorf("spice: BuildSC element count mismatch: %d/%d caps, %d/%d switches",
+			len(caps), len(top.Caps), len(rons), len(top.Switches))
+	}
+	if opt.VIn <= 0 || opt.FSw <= 0 || opt.CLoad <= 0 {
+		return nil, fmt.Errorf("spice: BuildSC needs positive VIn, FSw, CLoad")
+	}
+	dead := opt.DeadFrac
+	if dead == 0 {
+		dead = 0.02
+	}
+	name := func(n topology.Node) string {
+		switch n {
+		case topology.Gnd:
+			return "0"
+		case topology.Vin:
+			return "vin"
+		case topology.Vout:
+			return "vout"
+		default:
+			return fmt.Sprintf("n%d", int(n))
+		}
+	}
+	c := NewCircuit()
+	c.V("vsrc", "vin", "0", DC(opt.VIn))
+	for i, cap := range top.Caps {
+		if caps[i] <= 0 {
+			return nil, fmt.Errorf("spice: capacitor %d must be positive", i)
+		}
+		ic := an.CapVoltages[i] * opt.VIn
+		c.C(fmt.Sprintf("c%d", i), name(cap.Pos), name(cap.Neg), caps[i], ic)
+	}
+	for i, sw := range top.Switches {
+		if rons[i] <= 0 {
+			return nil, fmt.Errorf("spice: switch %d on-resistance must be positive", i)
+		}
+		c.SW(fmt.Sprintf("s%d", i), name(sw.A), name(sw.B), rons[i],
+			TwoPhaseClock(opt.FSw, int(sw.Phase), dead))
+	}
+	voutIC := opt.VOutIC
+	if voutIC == 0 {
+		voutIC = an.Ratio * opt.VIn
+	}
+	c.C("cload", "vout", "0", opt.CLoad, voutIC)
+	load := opt.Load
+	if load == nil {
+		load = DC(opt.ILoad)
+	}
+	c.I("iload", "vout", "0", load)
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c, nil
+}
+
+// BuckOptions parameterizes a switch-level buck testbench.
+type BuckOptions struct {
+	// VIn is the input supply (V) and Duty the PWM duty cycle.
+	VIn, Duty float64
+	// FSw is the switching frequency (Hz).
+	FSw float64
+	// L is the inductance (H) and RL its series resistance (ohm).
+	L, RL float64
+	// COut is the output capacitance (F).
+	COut float64
+	// RHigh and RLow are switch on-resistances (ohm).
+	RHigh, RLow float64
+	// ILoad is the DC load; Load overrides it when non-nil.
+	ILoad float64
+	Load  Waveform
+}
+
+// BuildBuck constructs a synchronous buck netlist: high-side switch from
+// "vin" to "sw", low-side from "sw" to ground (complementary drive),
+// inductor+DCR from "sw" to "vout", output cap, and the load source. The
+// output is pre-charged to Duty*VIn.
+func BuildBuck(opt BuckOptions) (*Circuit, error) {
+	if opt.VIn <= 0 || opt.Duty <= 0 || opt.Duty >= 1 || opt.FSw <= 0 {
+		return nil, fmt.Errorf("spice: BuildBuck needs positive VIn/FSw and duty in (0,1)")
+	}
+	if opt.L <= 0 || opt.COut <= 0 || opt.RHigh <= 0 || opt.RLow <= 0 || opt.RL < 0 {
+		return nil, fmt.Errorf("spice: BuildBuck element values invalid")
+	}
+	c := NewCircuit()
+	c.V("vsrc", "vin", "0", DC(opt.VIn))
+	c.SW("shs", "vin", "sw", opt.RHigh, DutyClock(opt.FSw, opt.Duty, false))
+	c.SW("sls", "sw", "0", opt.RLow, DutyClock(opt.FSw, opt.Duty, true))
+	vout0 := opt.Duty * opt.VIn
+	iL0 := opt.ILoad
+	if opt.RL > 0 {
+		c.R("rl", "sw", "lx", opt.RL)
+		c.L("l1", "lx", "vout", opt.L, iL0)
+	} else {
+		c.L("l1", "sw", "vout", opt.L, iL0)
+	}
+	c.C("cout", "vout", "0", opt.COut, vout0)
+	load := opt.Load
+	if load == nil {
+		load = DC(opt.ILoad)
+	}
+	c.I("iload", "vout", "0", load)
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c, nil
+}
+
+// MeasureEfficiency runs the circuit for `cycles` switching periods at
+// step points-per-cycle resolution and returns input power, output power,
+// and efficiency measured over the trailing half (past start-up).
+// It assumes BuildSC/BuildBuck naming: source "vsrc" at node "vin", load
+// current source "iload" at node "vout".
+func MeasureEfficiency(c *Circuit, fsw float64, cycles, pointsPerCycle int, loadCurrent Waveform) (pin, pout, eff float64, err error) {
+	if cycles < 4 || pointsPerCycle < 8 {
+		return 0, 0, 0, fmt.Errorf("spice: need >= 4 cycles and >= 8 points per cycle")
+	}
+	h := 1 / (fsw * float64(pointsPerCycle))
+	T := float64(cycles) / fsw
+	res, err := c.Tran(h, T)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	pin = res.AvgPower("vin", "vsrc", 0.5)
+	// Output power: v(vout) * i_load(t) averaged over the same window.
+	v := res.V["vout"]
+	start := len(v) / 2
+	sum := 0.0
+	for k := start; k < len(v); k++ {
+		sum += v[k] * loadCurrent(res.Times[k])
+	}
+	pout = sum / float64(len(v)-start)
+	if pin <= 0 {
+		return pin, pout, 0, fmt.Errorf("spice: non-positive input power %g (not in steady state?)", pin)
+	}
+	return pin, pout, pout / pin, nil
+}

@@ -1,0 +1,168 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"ivory/internal/topology"
+)
+
+func buildSC21(t *testing.T, ctot, gtot, vin, fsw, iload float64) (*Circuit, *topology.Analysis) {
+	t.Helper()
+	top, err := topology.SeriesParallel(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := top.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := make([]float64, an.NumCaps)
+	for i, m := range an.CapMultipliers {
+		caps[i] = ctot * m / an.SumAC
+	}
+	rons := make([]float64, an.NumSwitches)
+	for i, m := range an.SwitchMultipliers {
+		rons[i] = an.SumAR / (gtot * m)
+	}
+	c, err := BuildSC(top, an, caps, rons, SCOptions{
+		VIn: vin, FSw: fsw, CLoad: 20e-9, ILoad: iload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, an
+}
+
+// The headline validation (paper Fig. 7): the analytic SSL/FSL model must
+// track the switch-level simulation of the same converter.
+func TestSCConverterMatchesAnalyticModel(t *testing.T) {
+	vin, fsw, iload := 2.0, 50e6, 0.2
+	ctot, gtot := 10e-9, 100.0
+	c, an := buildSC21(t, ctot, gtot, vin, fsw, iload)
+	pin, pout, eff, err := MeasureEfficiency(c, fsw, 40, 64, DC(iload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic prediction (conduction-only: the netlist has ideal drives).
+	rssl := an.SumAC * an.SumAC / (ctot * fsw)
+	rfsl := an.SumAR * an.SumAR / (gtot * 0.5)
+	rout := math.Hypot(rssl, rfsl)
+	vPred := an.Ratio*vin - iload*rout
+	effPred := vPred / (an.Ratio * vin)
+
+	// Simulated output voltage from output power.
+	vSim := pout / iload
+	if math.Abs(vSim-vPred) > 0.05*vin {
+		t.Errorf("V_out: sim %v vs model %v", vSim, vPred)
+	}
+	if math.Abs(eff-effPred) > 0.05 {
+		t.Errorf("efficiency: sim %v vs model %v", eff, effPred)
+	}
+	if pin < pout {
+		t.Errorf("simulator created energy: pin %v < pout %v", pin, pout)
+	}
+}
+
+// Sweeping frequency: simulated output impedance interpolates between the
+// SSL (1/f) and FSL (flat) asymptotes.
+func TestSCImpedanceFrequencyBehaviour(t *testing.T) {
+	vin, iload := 2.0, 0.2
+	ctot, gtot := 10e-9, 100.0
+	vAt := func(fsw float64) float64 {
+		c, _ := buildSC21(t, ctot, gtot, vin, fsw, iload)
+		_, pout, _, err := MeasureEfficiency(c, fsw, 40, 64, DC(iload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pout / iload
+	}
+	vLo := vAt(10e6)
+	vMid := vAt(40e6)
+	vHi := vAt(200e6)
+	// Output rises monotonically with frequency (SSL shrinks)...
+	if !(vLo < vMid && vMid < vHi) {
+		t.Errorf("V_out should rise with fsw: %v, %v, %v", vLo, vMid, vHi)
+	}
+	// ...but saturates at the FSL bound below the ideal ratio.
+	ideal := 0.5 * vin
+	if vHi >= ideal {
+		t.Errorf("V_out %v cannot reach the ideal %v", vHi, ideal)
+	}
+}
+
+func TestBuildSCValidation(t *testing.T) {
+	top, _ := topology.SeriesParallel(2, 1)
+	an, _ := top.Analyze()
+	if _, err := BuildSC(nil, an, nil, nil, SCOptions{}); err == nil {
+		t.Error("nil topology must fail")
+	}
+	if _, err := BuildSC(top, an, []float64{1e-9}, []float64{1}, SCOptions{VIn: 1, FSw: 1e6, CLoad: 1e-9}); err == nil {
+		t.Error("switch count mismatch must fail")
+	}
+	caps := []float64{1e-9}
+	rons := []float64{1, 1, 1, 1}
+	if _, err := BuildSC(top, an, caps, rons, SCOptions{VIn: 0, FSw: 1e6, CLoad: 1e-9}); err == nil {
+		t.Error("zero VIn must fail")
+	}
+	if _, err := BuildSC(top, an, []float64{-1}, rons, SCOptions{VIn: 1, FSw: 1e6, CLoad: 1e-9}); err == nil {
+		t.Error("negative cap must fail")
+	}
+}
+
+func TestBuckConverterMatchesIdealConversion(t *testing.T) {
+	opt := BuckOptions{
+		VIn: 3.3, Duty: 0.4, FSw: 20e6,
+		L: 100e-9, RL: 0.05, COut: 1e-6,
+		RHigh: 0.05, RLow: 0.05,
+		ILoad: 1.0,
+	}
+	c, err := BuildBuck(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin, pout, eff, err := MeasureEfficiency(c, opt.FSw, 60, 64, DC(opt.ILoad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average V_out = D*VIn - I*(avg switch R + DCR).
+	rAvg := opt.Duty*opt.RHigh + (1-opt.Duty)*opt.RLow + opt.RL
+	vPred := opt.Duty*opt.VIn - opt.ILoad*rAvg
+	vSim := pout / opt.ILoad
+	if math.Abs(vSim-vPred) > 0.05*vPred {
+		t.Errorf("buck V_out: sim %v vs model %v", vSim, vPred)
+	}
+	if eff < 0.85 || eff > 1.0 {
+		t.Errorf("buck sim efficiency implausible: %v (pin %v pout %v)", eff, pin, pout)
+	}
+}
+
+func TestBuildBuckValidation(t *testing.T) {
+	if _, err := BuildBuck(BuckOptions{}); err == nil {
+		t.Error("zero options must fail")
+	}
+	if _, err := BuildBuck(BuckOptions{VIn: 1, Duty: 1.2, FSw: 1e6, L: 1e-9, COut: 1e-9, RHigh: 1, RLow: 1}); err == nil {
+		t.Error("duty > 1 must fail")
+	}
+}
+
+func TestMeasureEfficiencyValidation(t *testing.T) {
+	c := NewCircuit()
+	c.V("vsrc", "vin", "0", DC(1))
+	c.R("r", "vin", "vout", 1)
+	c.I("iload", "vout", "0", DC(0.1))
+	if _, _, _, err := MeasureEfficiency(c, 1e6, 2, 64, DC(0.1)); err == nil {
+		t.Error("too few cycles must fail")
+	}
+	if _, _, _, err := MeasureEfficiency(c, 1e6, 10, 4, DC(0.1)); err == nil {
+		t.Error("too few points must fail")
+	}
+	_, _, eff, err := MeasureEfficiency(c, 1e6, 10, 16, DC(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resistive "converter": eff = vout/vin = 0.9.
+	if math.Abs(eff-0.9) > 1e-6 {
+		t.Errorf("resistive efficiency %v, want 0.9", eff)
+	}
+}

@@ -1,0 +1,65 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOPDivider(t *testing.T) {
+	c := NewCircuit()
+	c.V("v1", "a", "0", DC(9))
+	c.R("r1", "a", "b", 2000)
+	c.R("r2", "b", "0", 1000)
+	op, err := c.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op.V["b"]-3) > 1e-6 {
+		t.Errorf("divider = %v, want 3", op.V["b"])
+	}
+	if math.Abs(op.SourceI["v1"]-3e-3) > 1e-9 {
+		t.Errorf("source current %v, want 3 mA", op.SourceI["v1"])
+	}
+}
+
+func TestOPCapacitorOpenInductorShort(t *testing.T) {
+	c := NewCircuit()
+	c.V("v1", "a", "0", DC(5))
+	c.R("r1", "a", "b", 1000)
+	c.C("c1", "b", "0", 1e-9, 0) // open at DC: no current path through it
+	c.L("l1", "b", "c", 1e-6, 0) // short at DC
+	c.R("r2", "c", "0", 1000)
+	op, err := c.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Divider through r1-(L short)-r2: b = c = 2.5 V.
+	if math.Abs(op.V["b"]-2.5) > 1e-3 || math.Abs(op.V["c"]-2.5) > 1e-3 {
+		t.Errorf("b=%v c=%v, want 2.5", op.V["b"], op.V["c"])
+	}
+}
+
+func TestOPCurrentSourceAndSwitch(t *testing.T) {
+	c := NewCircuit()
+	c.I("i1", "0", "a", DC(1e-3)) // 1 mA into node a
+	c.R("r1", "a", "0", 1000)
+	c.SW("s1", "a", "b", 1, func(float64) bool { return false })
+	c.R("r2", "b", "0", 1000)
+	op, err := c.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op.V["a"]-1) > 1e-3 {
+		t.Errorf("v(a) = %v, want 1", op.V["a"])
+	}
+	if op.V["b"] > 1e-3 {
+		t.Errorf("open switch leaked: v(b) = %v", op.V["b"])
+	}
+}
+
+func TestOPEmptyCircuit(t *testing.T) {
+	c := NewCircuit()
+	if _, err := c.OP(); err == nil {
+		t.Error("empty circuit must fail")
+	}
+}

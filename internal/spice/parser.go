@@ -1,0 +1,299 @@
+package spice
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseNetlist reads a SPICE-flavoured text netlist into a Circuit. The
+// dialect is the classic card format, one element per line:
+//
+//   - comment
+//     R<name> <node+> <node-> <value>
+//     C<name> <node+> <node-> <value> [ic=<v>]
+//     L<name> <node+> <node-> <value> [ic=<i>]
+//     V<name> <node+> <node-> <value>            (DC)
+//     V<name> <node+> <node-> PULSE <v0> <v1> <period> <duty>
+//     V<name> <node+> <node-> PWL <t1> <v1> <t2> <v2> ...
+//     I<name> <node+> <node-> <value> | PULSE ... | PWL ...
+//     S<name> <node+> <node-> <ron> CLK <fsw> <phase 1|2>   (two-phase switch)
+//     S<name> <node+> <node-> <ron> DUTY <fsw> <duty> [inv] (PWM switch)
+//     E<name> <node+> <node-> <cp> <cn> <gain>    (VCVS)
+//     G<name> <node+> <node-> <cp> <cn> <gain>    (VCCS, siemens)
+//     .end                                        (optional terminator)
+//
+// Values accept engineering suffixes (f, p, n, u, m, k, meg, g, t). Node
+// "0" (or "gnd") is ground. Continuation lines starting with "+" extend
+// the previous card.
+func ParseNetlist(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	c := NewCircuit()
+	var lines []string
+	for sc.Scan() {
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "*") {
+			continue
+		}
+		if strings.HasPrefix(raw, "+") && len(lines) > 0 {
+			lines[len(lines)-1] += " " + strings.TrimSpace(raw[1:])
+			continue
+		}
+		lines = append(lines, raw)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("spice: reading netlist: %w", err)
+	}
+	for ln, raw := range lines {
+		if err := parseCard(c, raw); err != nil {
+			return nil, fmt.Errorf("spice: line %d (%q): %w", ln+1, raw, err)
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	if len(c.elems) == 0 {
+		return nil, fmt.Errorf("spice: netlist has no elements")
+	}
+	return c, nil
+}
+
+func parseCard(c *Circuit, raw string) error {
+	if i := strings.IndexAny(raw, ";"); i >= 0 {
+		raw = raw[:i]
+	}
+	f := strings.Fields(raw)
+	if len(f) == 0 {
+		return nil
+	}
+	card := strings.ToUpper(f[0])
+	if strings.HasPrefix(card, ".") {
+		switch card {
+		case ".END", ".ENDS":
+			return nil
+		default:
+			return fmt.Errorf("unsupported directive %s", card)
+		}
+	}
+	if len(f) < 4 {
+		return fmt.Errorf("element card needs at least 4 fields")
+	}
+	name, a, b := f[0], f[1], f[2]
+	rest := f[3:]
+	switch card[0] {
+	case 'R':
+		v, err := ParseValue(rest[0])
+		if err != nil {
+			return err
+		}
+		c.R(name, a, b, v)
+	case 'C':
+		v, err := ParseValue(rest[0])
+		if err != nil {
+			return err
+		}
+		ic, err := parseIC(rest[1:])
+		if err != nil {
+			return err
+		}
+		c.C(name, a, b, v, ic)
+	case 'L':
+		v, err := ParseValue(rest[0])
+		if err != nil {
+			return err
+		}
+		ic, err := parseIC(rest[1:])
+		if err != nil {
+			return err
+		}
+		c.L(name, a, b, v, ic)
+	case 'V', 'I':
+		w, err := parseSource(rest)
+		if err != nil {
+			return err
+		}
+		if card[0] == 'V' {
+			c.V(name, a, b, w)
+		} else {
+			c.I(name, a, b, w)
+		}
+	case 'E', 'G':
+		// E/G <a> <b> <cp> <cn> <gain>
+		if len(rest) < 3 {
+			return fmt.Errorf("controlled source needs <cp> <cn> <gain>")
+		}
+		gain, err := ParseValue(rest[2])
+		if err != nil {
+			return err
+		}
+		if card[0] == 'E' {
+			c.E(name, a, b, rest[0], rest[1], gain)
+		} else {
+			c.G(name, a, b, rest[0], rest[1], gain)
+		}
+	case 'S':
+		if len(rest) < 3 {
+			return fmt.Errorf("switch needs <ron> CLK|DUTY args")
+		}
+		ron, err := ParseValue(rest[0])
+		if err != nil {
+			return err
+		}
+		mode := strings.ToUpper(rest[1])
+		switch mode {
+		case "CLK":
+			if len(rest) < 4 {
+				return fmt.Errorf("CLK switch needs <fsw> <phase>")
+			}
+			fsw, err := ParseValue(rest[2])
+			if err != nil {
+				return err
+			}
+			ph, err := strconv.Atoi(rest[3])
+			if err != nil || (ph != 1 && ph != 2) {
+				return fmt.Errorf("CLK phase must be 1 or 2")
+			}
+			c.SW(name, a, b, ron, TwoPhaseClock(fsw, ph, 0.02))
+		case "DUTY":
+			if len(rest) < 4 {
+				return fmt.Errorf("DUTY switch needs <fsw> <duty> [inv]")
+			}
+			fsw, err := ParseValue(rest[2])
+			if err != nil {
+				return err
+			}
+			duty, err := ParseValue(rest[3])
+			if err != nil {
+				return err
+			}
+			inv := len(rest) > 4 && strings.EqualFold(rest[4], "inv")
+			c.SW(name, a, b, ron, DutyClock(fsw, duty, inv))
+		default:
+			return fmt.Errorf("unknown switch mode %q", rest[1])
+		}
+	default:
+		return fmt.Errorf("unknown element type %q", card[:1])
+	}
+	return nil
+}
+
+func parseIC(fields []string) (float64, error) {
+	for _, f := range fields {
+		low := strings.ToLower(f)
+		if strings.HasPrefix(low, "ic=") {
+			return ParseValue(low[3:])
+		}
+	}
+	return 0, nil
+}
+
+func parseSource(rest []string) (Waveform, error) {
+	switch strings.ToUpper(rest[0]) {
+	case "PULSE":
+		if len(rest) < 5 {
+			return nil, fmt.Errorf("PULSE needs <v0> <v1> <period> <duty>")
+		}
+		vals := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			v, err := ParseValue(rest[1+i])
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return Pulse(vals[0], vals[1], vals[2], vals[3]), nil
+	case "PWL":
+		pts := rest[1:]
+		if len(pts) < 4 || len(pts)%2 != 0 {
+			return nil, fmt.Errorf("PWL needs an even number (>= 4) of time/value fields")
+		}
+		var ts, vs []float64
+		for i := 0; i < len(pts); i += 2 {
+			tv, err := ParseValue(pts[i])
+			if err != nil {
+				return nil, err
+			}
+			vv, err := ParseValue(pts[i+1])
+			if err != nil {
+				return nil, err
+			}
+			if len(ts) > 0 && tv <= ts[len(ts)-1] {
+				return nil, fmt.Errorf("PWL times must be increasing")
+			}
+			ts = append(ts, tv)
+			vs = append(vs, vv)
+		}
+		return PWL(ts, vs), nil
+	default:
+		v, err := ParseValue(rest[0])
+		if err != nil {
+			return nil, err
+		}
+		return DC(v), nil
+	}
+}
+
+// ParseValue parses a SPICE-style number with an optional engineering
+// suffix: f p n u m k meg g t (case-insensitive). Trailing unit letters
+// after the suffix are ignored ("10nF", "3.3k", "2meg").
+func ParseValue(s string) (float64, error) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	if low == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	// Split mantissa from suffix.
+	end := len(low)
+	for i, r := range low {
+		if (r >= '0' && r <= '9') || r == '.' || r == '+' || r == '-' {
+			continue
+		}
+		if (r == 'e') && i > 0 && i+1 < len(low) {
+			// scientific notation exponent: consume sign/digits after it
+			rest := low[i+1:]
+			if len(rest) > 0 && (rest[0] == '+' || rest[0] == '-' || (rest[0] >= '0' && rest[0] <= '9')) {
+				continue
+			}
+		}
+		end = i
+		break
+	}
+	mant := low[:end]
+	suffix := low[end:]
+	v, err := strconv.ParseFloat(mant, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	mult := 1.0
+	switch {
+	case suffix == "":
+		mult = 1
+	case strings.HasPrefix(suffix, "meg"):
+		mult = 1e6
+	case strings.HasPrefix(suffix, "f"):
+		mult = 1e-15
+	case strings.HasPrefix(suffix, "p"):
+		mult = 1e-12
+	case strings.HasPrefix(suffix, "n"):
+		mult = 1e-9
+	case strings.HasPrefix(suffix, "u"):
+		mult = 1e-6
+	case strings.HasPrefix(suffix, "m"):
+		mult = 1e-3
+	case strings.HasPrefix(suffix, "k"):
+		mult = 1e3
+	case strings.HasPrefix(suffix, "g"):
+		mult = 1e9
+	case strings.HasPrefix(suffix, "t"):
+		mult = 1e12
+	default:
+		return 0, fmt.Errorf("unknown suffix %q in %q", suffix, s)
+	}
+	out := v * mult
+	if math.IsInf(out, 0) || math.IsNaN(out) {
+		return 0, fmt.Errorf("value %q out of range", s)
+	}
+	return out, nil
+}

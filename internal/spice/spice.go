@@ -1,0 +1,641 @@
+// Package spice is a from-scratch transient circuit simulator in the SPICE
+// tradition, built on modified nodal analysis (MNA) with trapezoidal
+// companion models. It is Ivory's stand-in for the commercial SPICE/Cadence
+// simulations the paper validates against (Figs. 4, 7-9): converter
+// netlists are simulated switch-by-switch at fine time steps, and the
+// analytical models are compared against the resulting waveforms,
+// efficiencies, and runtimes.
+//
+// Supported elements: resistors, capacitors (trapezoidal companion),
+// inductors (Norton companion), independent voltage sources (branch-current
+// formulation), independent current sources, and time-controlled resistive
+// switches. Switch state changes trigger a re-factorization of the MNA
+// matrix; factorizations are cached per switch-state vector, so periodic
+// two-phase converters pay the factorization cost only twice.
+package spice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ivory/internal/numeric"
+)
+
+// Waveform is a time-stamped signal source: given t it returns a value.
+type Waveform func(t float64) float64
+
+// DC returns a constant waveform.
+func DC(v float64) Waveform { return func(float64) float64 { return v } }
+
+// PWL returns a piecewise-linear waveform through the (t, v) points; it
+// holds the boundary values outside the range. Times must be increasing.
+func PWL(ts, vs []float64) Waveform {
+	return func(t float64) float64 { return numeric.Interp1(ts, vs, t) }
+}
+
+// Pulse returns a square pulse train: v1 for the first duty fraction of
+// each period, v0 otherwise.
+func Pulse(v0, v1, period, duty float64) Waveform {
+	return func(t float64) float64 {
+		frac := math.Mod(t, period) / period
+		if frac < 0 {
+			frac += 1
+		}
+		if frac < duty {
+			return v1
+		}
+		return v0
+	}
+}
+
+// Control decides whether a switch is closed at time t.
+type Control func(t float64) bool
+
+// TwoPhaseClock returns the control function for phase ph (1 or 2) of a
+// two-phase non-overlapping clock at frequency fsw: phase 1 conducts during
+// the first half period, phase 2 during the second, each shortened by the
+// dead-time fraction on both edges to prevent shoot-through.
+func TwoPhaseClock(fsw float64, ph int, deadFrac float64) Control {
+	period := 1 / fsw
+	return func(t float64) bool {
+		frac := math.Mod(t, period) / period
+		if frac < 0 {
+			frac += 1
+		}
+		switch ph {
+		case 1:
+			return frac >= deadFrac && frac < 0.5-deadFrac
+		default:
+			return frac >= 0.5+deadFrac && frac < 1-deadFrac
+		}
+	}
+}
+
+// DutyClock returns a control closed during the first duty fraction of each
+// switching period (inverted if invert is true) — the PWM drive of a buck
+// converter's high side (and, inverted, its synchronous low side).
+func DutyClock(fsw, duty float64, invert bool) Control {
+	period := 1 / fsw
+	return func(t float64) bool {
+		frac := math.Mod(t, period) / period
+		if frac < 0 {
+			frac += 1
+		}
+		on := frac < duty
+		if invert {
+			return !on
+		}
+		return on
+	}
+}
+
+// element kinds
+type elemKind int
+
+const (
+	kindR elemKind = iota
+	kindC
+	kindL
+	kindV
+	kindI
+	kindSW
+	kindVCVS // E: voltage-controlled voltage source
+	kindVCCS // G: voltage-controlled current source
+)
+
+type element struct {
+	kind  elemKind
+	name  string
+	a, b  int // node indices (-1 = ground)
+	value float64
+	ic    float64  // initial condition (V for caps, A for inductors)
+	wave  Waveform // for V/I sources
+	ctrl  Control  // for switches
+	ron   float64
+	roff  float64
+	// controlled sources: sensing nodes and gain
+	cp, cn int
+	gain   float64
+
+	// runtime state
+	branch int     // branch index for V sources
+	state  float64 // companion state: cap current / inductor current
+	aux    float64 // companion auxiliary: cap voltage / inductor voltage
+}
+
+// Circuit is a netlist under construction.
+type Circuit struct {
+	nodeIdx  map[string]int
+	nodeName []string
+	elems    []*element
+	err      error
+}
+
+// NewCircuit returns an empty circuit. Node "0" (and "gnd") is ground.
+func NewCircuit() *Circuit {
+	return &Circuit{nodeIdx: map[string]int{}}
+}
+
+func (c *Circuit) node(name string) int {
+	if name == "0" || name == "gnd" || name == "GND" {
+		return -1
+	}
+	if i, ok := c.nodeIdx[name]; ok {
+		return i
+	}
+	i := len(c.nodeName)
+	c.nodeIdx[name] = i
+	c.nodeName = append(c.nodeName, name)
+	return i
+}
+
+func (c *Circuit) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("spice: "+format, args...)
+	}
+}
+
+// R adds a resistor of r ohms between nodes a and b.
+func (c *Circuit) R(name, a, b string, r float64) {
+	if r <= 0 {
+		c.fail("resistor %s must have positive resistance", name)
+		return
+	}
+	c.elems = append(c.elems, &element{kind: kindR, name: name, a: c.node(a), b: c.node(b), value: r})
+}
+
+// C adds a capacitor of f farads with initial voltage ic.
+func (c *Circuit) C(name, a, b string, f, ic float64) {
+	if f <= 0 {
+		c.fail("capacitor %s must have positive capacitance", name)
+		return
+	}
+	c.elems = append(c.elems, &element{kind: kindC, name: name, a: c.node(a), b: c.node(b), value: f, ic: ic})
+}
+
+// L adds an inductor of h henries with initial current ic (flowing a->b).
+func (c *Circuit) L(name, a, b string, h, ic float64) {
+	if h <= 0 {
+		c.fail("inductor %s must have positive inductance", name)
+		return
+	}
+	c.elems = append(c.elems, &element{kind: kindL, name: name, a: c.node(a), b: c.node(b), value: h, ic: ic})
+}
+
+// V adds an independent voltage source (a positive w.r.t. b).
+func (c *Circuit) V(name, a, b string, w Waveform) {
+	c.elems = append(c.elems, &element{kind: kindV, name: name, a: c.node(a), b: c.node(b), wave: w})
+}
+
+// I adds an independent current source drawing current from a into b
+// through the source (conventional direction a->b).
+func (c *Circuit) I(name, a, b string, w Waveform) {
+	c.elems = append(c.elems, &element{kind: kindI, name: name, a: c.node(a), b: c.node(b), wave: w})
+}
+
+// SW adds a time-controlled switch with on-resistance ron (off-conductance
+// is a tiny leak keeping the matrix well-posed).
+func (c *Circuit) SW(name, a, b string, ron float64, ctrl Control) {
+	if ron <= 0 {
+		c.fail("switch %s must have positive on-resistance", name)
+		return
+	}
+	c.elems = append(c.elems, &element{
+		kind: kindSW, name: name, a: c.node(a), b: c.node(b),
+		ron: ron, roff: 1e12, ctrl: ctrl,
+	})
+}
+
+// E adds a voltage-controlled voltage source: v(a,b) = gain * v(cp,cn).
+func (c *Circuit) E(name, a, b, cp, cn string, gain float64) {
+	c.elems = append(c.elems, &element{
+		kind: kindVCVS, name: name,
+		a: c.node(a), b: c.node(b),
+		cp: c.node(cp), cn: c.node(cn), gain: gain,
+	})
+}
+
+// G adds a voltage-controlled current source: i(a->b) = gain * v(cp,cn),
+// i.e. a transconductance of `gain` siemens.
+func (c *Circuit) G(name, a, b, cp, cn string, gain float64) {
+	c.elems = append(c.elems, &element{
+		kind: kindVCCS, name: name,
+		a: c.node(a), b: c.node(b),
+		cp: c.node(cp), cn: c.node(cn), gain: gain,
+	})
+}
+
+// Nodes returns the sorted non-ground node names.
+func (c *Circuit) Nodes() []string {
+	out := append([]string(nil), c.nodeName...)
+	sort.Strings(out)
+	return out
+}
+
+// Result holds a transient simulation's sampled waveforms.
+type Result struct {
+	// Times holds the sample instants, including t = 0.
+	Times []float64
+	// V maps node name -> waveform. Ground is not included.
+	V map[string][]float64
+	// SourceI maps voltage-source name -> branch current (flowing from the
+	// + terminal through the source).
+	SourceI map[string][]float64
+	// Steps counts solver steps; Refactorizations counts LU factorizations
+	// triggered by switch-state changes (useful for performance analysis).
+	Steps, Refactorizations int
+}
+
+// At returns the voltage of node at sample k (ground returns 0).
+func (r *Result) At(node string, k int) float64 {
+	w, ok := r.V[node]
+	if !ok {
+		return 0
+	}
+	return w[k]
+}
+
+// Avg returns the time-average of the node voltage over the last fraction
+// `window` of the run (window in (0,1]; e.g. 0.5 = second half).
+func (r *Result) Avg(node string, window float64) float64 {
+	w, ok := r.V[node]
+	if !ok || len(w) == 0 {
+		return 0
+	}
+	start := int(float64(len(w)) * (1 - window))
+	if start < 0 {
+		start = 0
+	}
+	return numeric.Mean(w[start:])
+}
+
+// AvgPower returns the average of v(node)*i(source) over the trailing
+// window — the power delivered by the named voltage source when node is its
+// positive terminal.
+func (r *Result) AvgPower(node, source string, window float64) float64 {
+	v, ok := r.V[node]
+	iw, ok2 := r.SourceI[source]
+	if !ok || !ok2 || len(v) == 0 {
+		return 0
+	}
+	start := int(float64(len(v)) * (1 - window))
+	if start < 0 {
+		start = 0
+	}
+	sum := 0.0
+	for k := start; k < len(v); k++ {
+		sum += v[k] * iw[k]
+	}
+	return sum / float64(len(v)-start)
+}
+
+// Tran runs a transient simulation with fixed step h over [0, T]. Initial
+// conditions come from the declared element ICs (nodes start at the voltage
+// implied by capacitor ICs where determined, 0 otherwise, via one backward-
+// Euler start step).
+func (c *Circuit) Tran(h, T float64) (*Result, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if h <= 0 || T <= 0 || T < h {
+		return nil, fmt.Errorf("spice: need 0 < h <= T (h=%g, T=%g)", h, T)
+	}
+	n := len(c.nodeName)
+	// Assign branch indices to voltage sources.
+	nb := 0
+	for _, e := range c.elems {
+		if e.kind == kindV || e.kind == kindVCVS {
+			e.branch = n + nb
+			nb++
+		}
+	}
+	dim := n + nb
+	if dim == 0 {
+		return nil, fmt.Errorf("spice: empty circuit")
+	}
+
+	// Initialize companion states from ICs.
+	for _, e := range c.elems {
+		switch e.kind {
+		case kindC:
+			e.aux = e.ic // cap voltage
+			e.state = 0  // cap current
+		case kindL:
+			e.state = e.ic // inductor current
+			e.aux = 0      // inductor voltage
+		}
+	}
+
+	steps := int(math.Ceil(T / h))
+	res := &Result{
+		Times:   make([]float64, 0, steps+1),
+		V:       map[string][]float64{},
+		SourceI: map[string][]float64{},
+	}
+	for _, name := range c.nodeName {
+		res.V[name] = make([]float64, 0, steps+1)
+	}
+	for _, e := range c.elems {
+		if e.kind == kindV {
+			res.SourceI[e.name] = make([]float64, 0, steps+1)
+		}
+	}
+
+	// Factorization cache keyed by switch-state bitmask string.
+	type fact struct{ lu *numeric.LU }
+	cache := map[string]fact{}
+	swState := make([]byte, 0, 8)
+	stateKey := func(t float64) string {
+		swState = swState[:0]
+		for _, e := range c.elems {
+			if e.kind == kindSW {
+				if e.ctrl(t) {
+					swState = append(swState, '1')
+				} else {
+					swState = append(swState, '0')
+				}
+			}
+		}
+		return string(swState)
+	}
+
+	build := func(t float64) (*numeric.LU, error) {
+		m := numeric.NewMatrix(dim, dim)
+		stamp := func(a, b int, g float64) {
+			if a >= 0 {
+				m.Add(a, a, g)
+			}
+			if b >= 0 {
+				m.Add(b, b, g)
+			}
+			if a >= 0 && b >= 0 {
+				m.Add(a, b, -g)
+				m.Add(b, a, -g)
+			}
+		}
+		for _, e := range c.elems {
+			switch e.kind {
+			case kindR:
+				stamp(e.a, e.b, 1/e.value)
+			case kindC:
+				stamp(e.a, e.b, 2*e.value/h)
+			case kindL:
+				stamp(e.a, e.b, h/(2*e.value))
+			case kindSW:
+				r := e.roff
+				if e.ctrl(t) {
+					r = e.ron
+				}
+				stamp(e.a, e.b, 1/r)
+			case kindV:
+				if e.a >= 0 {
+					m.Add(e.a, e.branch, 1)
+					m.Add(e.branch, e.a, 1)
+				}
+				if e.b >= 0 {
+					m.Add(e.b, e.branch, -1)
+					m.Add(e.branch, e.b, -1)
+				}
+			case kindVCVS:
+				if e.a >= 0 {
+					m.Add(e.a, e.branch, 1)
+					m.Add(e.branch, e.a, 1)
+				}
+				if e.b >= 0 {
+					m.Add(e.b, e.branch, -1)
+					m.Add(e.branch, e.b, -1)
+				}
+				if e.cp >= 0 {
+					m.Add(e.branch, e.cp, -e.gain)
+				}
+				if e.cn >= 0 {
+					m.Add(e.branch, e.cn, e.gain)
+				}
+			case kindVCCS:
+				stampVCCS(m, e)
+			}
+		}
+		// Ground leak on every node guards against floating subcircuits.
+		for i := 0; i < n; i++ {
+			m.Add(i, i, 1e-12)
+		}
+		res.Refactorizations++
+		f, err := numeric.Factorize(m)
+		if err != nil {
+			return nil, fmt.Errorf("spice: singular MNA matrix: %w", err)
+		}
+		return f, nil
+	}
+
+	rhs := make([]float64, dim)
+	x := make([]float64, dim)
+	record := func(t float64) {
+		res.Times = append(res.Times, t)
+		for i, name := range c.nodeName {
+			res.V[name] = append(res.V[name], x[i])
+		}
+		for _, e := range c.elems {
+			if e.kind == kindV {
+				// MNA branch current flows + -> - inside the source; the
+				// current delivered by the source is its negative.
+				res.SourceI[e.name] = append(res.SourceI[e.name], -x[e.branch])
+			}
+		}
+	}
+
+	// Initial solve at t=0: one backward-Euler step of size h from the
+	// declared ICs. The companion conductances C/h and h/L stay within the
+	// dynamic range of the regular stamps, keeping the matrix well
+	// conditioned; capacitor voltages relax by at most one step from their
+	// ICs, which the warm-up cycles absorb.
+	hInit := h
+	{
+		m := numeric.NewMatrix(dim, dim)
+		stamp := func(a, b int, g float64) {
+			if a >= 0 {
+				m.Add(a, a, g)
+			}
+			if b >= 0 {
+				m.Add(b, b, g)
+			}
+			if a >= 0 && b >= 0 {
+				m.Add(a, b, -g)
+				m.Add(b, a, -g)
+			}
+		}
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		addI := func(a, b int, i float64) {
+			if a >= 0 {
+				rhs[a] += i
+			}
+			if b >= 0 {
+				rhs[b] -= i
+			}
+		}
+		for _, e := range c.elems {
+			switch e.kind {
+			case kindR:
+				stamp(e.a, e.b, 1/e.value)
+			case kindC:
+				g := e.value / hInit
+				stamp(e.a, e.b, g)
+				addI(e.a, e.b, g*e.aux) // pins v_ab ~ ic
+			case kindL:
+				g := hInit / e.value
+				stamp(e.a, e.b, g)
+				addI(e.a, e.b, -e.state)
+			case kindSW:
+				r := e.roff
+				if e.ctrl(0) {
+					r = e.ron
+				}
+				stamp(e.a, e.b, 1/r)
+			case kindV:
+				if e.a >= 0 {
+					m.Add(e.a, e.branch, 1)
+					m.Add(e.branch, e.a, 1)
+				}
+				if e.b >= 0 {
+					m.Add(e.b, e.branch, -1)
+					m.Add(e.branch, e.b, -1)
+				}
+				rhs[e.branch] = e.wave(0)
+			case kindVCVS:
+				if e.a >= 0 {
+					m.Add(e.a, e.branch, 1)
+					m.Add(e.branch, e.a, 1)
+				}
+				if e.b >= 0 {
+					m.Add(e.b, e.branch, -1)
+					m.Add(e.branch, e.b, -1)
+				}
+				if e.cp >= 0 {
+					m.Add(e.branch, e.cp, -e.gain)
+				}
+				if e.cn >= 0 {
+					m.Add(e.branch, e.cn, e.gain)
+				}
+			case kindVCCS:
+				stampVCCS(m, e)
+			case kindI:
+				addI(e.a, e.b, -e.wave(0))
+			}
+		}
+		for i := 0; i < n; i++ {
+			m.Add(i, i, 1e-12)
+		}
+		f, err := numeric.Factorize(m)
+		if err != nil {
+			return nil, fmt.Errorf("spice: singular matrix at t=0: %w", err)
+		}
+		copy(x, f.Solve(rhs))
+		// Seed companion states from the t=0 solution.
+		vAt := func(i int) float64 {
+			if i < 0 {
+				return 0
+			}
+			return x[i]
+		}
+		for _, e := range c.elems {
+			switch e.kind {
+			case kindC:
+				e.aux = vAt(e.a) - vAt(e.b)
+				e.state = 0
+			case kindL:
+				e.aux = 0
+			}
+		}
+	}
+	record(0)
+
+	var lu *numeric.LU
+	curKey := ""
+	for s := 1; s <= steps; s++ {
+		t := float64(s) * h
+		key := stateKey(t)
+		if lu == nil || key != curKey {
+			if f, ok := cache[key]; ok {
+				lu = f.lu
+			} else {
+				f, err := build(t)
+				if err != nil {
+					return nil, err
+				}
+				cache[key] = fact{lu: f}
+				lu = f
+			}
+			curKey = key
+		}
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		addI := func(a, b int, i float64) {
+			if a >= 0 {
+				rhs[a] += i
+			}
+			if b >= 0 {
+				rhs[b] -= i
+			}
+		}
+		for _, e := range c.elems {
+			switch e.kind {
+			case kindC:
+				// Trapezoidal companion: Ieq = g*v + i (into node a).
+				g := 2 * e.value / h
+				addI(e.a, e.b, g*e.aux+e.state)
+			case kindL:
+				// Norton companion: Ieq = -(i + g*v).
+				g := h / (2 * e.value)
+				addI(e.a, e.b, -(e.state + g*e.aux))
+			case kindV:
+				rhs[e.branch] = e.wave(t)
+			case kindI:
+				addI(e.a, e.b, -e.wave(t))
+			}
+		}
+		copy(x, lu.Solve(rhs))
+		res.Steps++
+		// Update companion states.
+		vAt := func(i int) float64 {
+			if i < 0 {
+				return 0
+			}
+			return x[i]
+		}
+		for _, e := range c.elems {
+			switch e.kind {
+			case kindC:
+				v := vAt(e.a) - vAt(e.b)
+				g := 2 * e.value / h
+				iNew := g*(v-e.aux) - e.state
+				e.state = iNew
+				e.aux = v
+			case kindL:
+				v := vAt(e.a) - vAt(e.b)
+				g := h / (2 * e.value)
+				iNew := e.state + g*(v+e.aux)
+				e.state = iNew
+				e.aux = v
+			}
+		}
+		record(t)
+	}
+	return res, nil
+}
+
+// stampVCCS stamps a voltage-controlled current source into the MNA matrix:
+// current gain*(v_cp - v_cn) flows from a to b.
+func stampVCCS(m *numeric.Matrix, e *element) {
+	add := func(row, col int, v float64) {
+		if row >= 0 && col >= 0 {
+			m.Add(row, col, v)
+		}
+	}
+	add(e.a, e.cp, e.gain)
+	add(e.a, e.cn, -e.gain)
+	add(e.b, e.cp, -e.gain)
+	add(e.b, e.cn, e.gain)
+}

@@ -1,0 +1,147 @@
+package tech
+
+import "ivory/internal/numeric"
+
+// nodeSpec is the compact row format the built-in table is written in.
+// Unit conventions for the table (converted to SI in build()):
+//
+//	ronW      on-resistance*width, ohm*um
+//	cgW       gate cap per width, fF/um
+//	cdW       drain cap per width, fF/um
+//	leakW     off leakage per width, nA/um
+//	mosCap    MOS cap density, nF/mm^2
+//	trenchCap deep-trench density, nF/mm^2 (0 = unavailable)
+//	mimCap    MIM density, nF/mm^2
+//	lInt      integrated inductor density, nH/mm^2
+type nodeSpec struct {
+	name    string
+	feature float64 // nm
+	vdd     float64 // V
+	ronW    float64
+	cgW     float64
+	cdW     float64
+	leakW   float64
+	mosCap  float64
+	trench  float64
+	mim     float64
+	lInt    float64
+	grid    float64 // ohm/sq on-chip grid
+	eGate   float64 // fJ per gate transition
+}
+
+// builtinSpecs spans 130 nm down to 10 nm, following ITRS/PTM scaling
+// trends: conductance and capacitor density improve with scaling, leakage
+// per width worsens, nominal Vdd drops.
+var builtinSpecs = []nodeSpec{
+	{"130nm", 130, 1.20, 2400, 1.15, 0.95, 0.05, 5.5, 0, 1.4, 2.0, 0.045, 4.0},
+	{"90nm", 90, 1.10, 1900, 1.10, 0.90, 0.20, 6.5, 100, 1.6, 3.0, 0.040, 2.6},
+	{"65nm", 65, 1.00, 1500, 1.05, 0.80, 0.80, 7.5, 150, 1.8, 4.0, 0.036, 1.7},
+	{"45nm", 45, 1.00, 1150, 1.00, 0.72, 2.50, 9.0, 200, 2.0, 5.5, 0.033, 1.1},
+	{"32nm", 32, 0.90, 930, 0.95, 0.66, 5.00, 10.5, 250, 2.2, 7.0, 0.030, 0.70},
+	{"22nm", 22, 0.85, 760, 0.90, 0.60, 8.50, 12.0, 300, 2.5, 9.0, 0.027, 0.45},
+	{"14nm", 14, 0.80, 620, 0.85, 0.55, 13.0, 14.0, 350, 2.8, 11.0, 0.025, 0.28},
+	{"10nm", 10, 0.75, 520, 0.80, 0.50, 18.0, 16.0, 400, 3.0, 13.0, 0.023, 0.18},
+}
+
+const (
+	ohmUm   = 1e-6  // ohm*um -> ohm*m
+	fFPerUm = 1e-9  // fF/um  -> F/m
+	nAPerUm = 1e-3  // nA/um  -> A/m
+	nFmm2   = 1e-3  // nF/mm^2 -> F/m^2
+	nHmm2   = 1e-3  // nH/mm^2 -> H/m^2
+	fJ      = 1e-15 // fJ -> J
+)
+
+func (s nodeSpec) build() *Node {
+	core := SwitchDevice{
+		Class:          CoreDevice,
+		ROnWidth:       s.ronW * ohmUm,
+		CGatePerWidth:  s.cgW * fFPerUm,
+		CDrainPerWidth: s.cdW * fFPerUm,
+		LeakPerWidth:   s.leakW * nAPerUm,
+		VMax:           s.vdd * 1.15,
+		VDrive:         s.vdd,
+		AreaPerWidth:   20 * s.feature * 1e-9, // device + guard + routing pitch
+	}
+	// Thick-oxide I/O device: blocks 3.3 V directly, at ~2.6x worse Ron*W
+	// and larger layout pitch — the standard trade-off for board-voltage
+	// front-end switches.
+	io := SwitchDevice{
+		Class:          IODevice,
+		ROnWidth:       s.ronW * 2.6 * ohmUm,
+		CGatePerWidth:  s.cgW * 1.35 * fFPerUm,
+		CDrainPerWidth: s.cdW * 1.4 * fFPerUm,
+		LeakPerWidth:   s.leakW * 0.02 * nAPerUm,
+		VMax:           3.3,
+		VDrive:         2.5, // driven from the 2.5 V I/O rail
+		AreaPerWidth:   34 * s.feature * 1e-9,
+	}
+	caps := map[CapacitorKind]CapacitorOption{
+		MOSCap: {
+			Kind:             MOSCap,
+			Density:          s.mosCap * nFmm2,
+			BottomPlateRatio: 0.05,
+			LeakPerFarad:     30e-3 * (s.leakW / 2.5), // scales with node leakiness
+			ESROhmFarad:      0.4e-12,                 // 0.4 ohm for 1 pF, scaling 1/C
+			VMax:             s.vdd * 1.15,
+		},
+		MIMCap: {
+			Kind:             MIMCap,
+			Density:          s.mim * nFmm2,
+			BottomPlateRatio: 0.01,
+			LeakPerFarad:     1e-6,
+			ESROhmFarad:      0.2e-12,
+			VMax:             3.3,
+		},
+	}
+	if s.trench > 0 {
+		caps[DeepTrench] = CapacitorOption{
+			Kind:             DeepTrench,
+			Density:          s.trench * nFmm2,
+			BottomPlateRatio: 0.006,
+			LeakPerFarad:     0.5e-3,
+			ESROhmFarad:      0.8e-12,
+			VMax:             1.8,
+		}
+	}
+	inductors := map[InductorKind]InductorOption{
+		SurfaceMount: {
+			Kind:        SurfaceMount,
+			FixedArea:   9e-6, // 3x3 mm board footprint per part
+			DCRPerHenry: 1e4,  // 10 mohm per uH class
+			// Discrete ferrite parts hold inductance well below ~10 MHz and
+			// roll off beyond; coefficient vs f in GHz.
+			LFreqCoeff: numeric.Polynomial{1.0, -8.0, 12.0},
+			FSkin:      5e6,
+			IMax:       30,
+		},
+		IntegratedThinFilm: {
+			Kind:        IntegratedThinFilm,
+			Density:     s.lInt * nHmm2,
+			DCRPerHenry: 5e7, // 50 mohm per nH class
+			// Magnetic thin-film inductors lose permeability with frequency;
+			// polynomial fit of published L(f) curves (f in GHz).
+			LFreqCoeff: numeric.Polynomial{1.0, -0.28, 0.03},
+			FSkin:      800e6,
+			IMax:       2.5,
+		},
+	}
+	return &Node{
+		Name:               s.name,
+		Feature:            s.feature * 1e-9,
+		VddNominal:         s.vdd,
+		Switches:           map[DeviceClass]SwitchDevice{CoreDevice: core, IODevice: io},
+		Capacitors:         caps,
+		Inductors:          inductors,
+		GridSheetOhm:       s.grid,
+		LogicEnergyPerGate: s.eGate * fJ,
+	}
+}
+
+func init() {
+	for _, s := range builtinSpecs {
+		if err := AddNode(s.build()); err != nil {
+			panic(err)
+		}
+	}
+}

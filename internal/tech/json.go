@@ -1,0 +1,184 @@
+package tech
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ivory/internal/numeric"
+)
+
+// The JSON schema uses human-readable keys so that user-supplied node
+// files are self-documenting. All quantities are SI (see the field docs on
+// the in-memory types).
+
+type jsonSwitch struct {
+	ROnWidth       float64 `json:"r_on_width_ohm_m"`
+	CGatePerWidth  float64 `json:"c_gate_per_width_f_per_m"`
+	CDrainPerWidth float64 `json:"c_drain_per_width_f_per_m"`
+	LeakPerWidth   float64 `json:"leak_per_width_a_per_m"`
+	VMax           float64 `json:"v_max"`
+	VDrive         float64 `json:"v_drive"`
+	AreaPerWidth   float64 `json:"area_per_width_m"`
+}
+
+type jsonCap struct {
+	Density          float64 `json:"density_f_per_m2"`
+	BottomPlateRatio float64 `json:"bottom_plate_ratio"`
+	LeakPerFarad     float64 `json:"leak_a_per_f"`
+	ESROhmFarad      float64 `json:"esr_ohm_farad"`
+	VMax             float64 `json:"v_max"`
+}
+
+type jsonInd struct {
+	Density     float64   `json:"density_h_per_m2"`
+	FixedArea   float64   `json:"fixed_area_m2"`
+	DCRPerHenry float64   `json:"dcr_per_henry"`
+	LFreqCoeff  []float64 `json:"l_freq_coeff_per_ghz"`
+	FSkin       float64   `json:"f_skin_hz"`
+	IMax        float64   `json:"i_max_a"`
+}
+
+type jsonNode struct {
+	Name               string                `json:"name"`
+	FeatureM           float64               `json:"feature_m"`
+	VddNominal         float64               `json:"vdd_nominal"`
+	GridSheetOhm       float64               `json:"grid_sheet_ohm"`
+	LogicEnergyPerGate float64               `json:"logic_energy_per_gate_j"`
+	Switches           map[string]jsonSwitch `json:"switches"`
+	Capacitors         map[string]jsonCap    `json:"capacitors"`
+	Inductors          map[string]jsonInd    `json:"inductors"`
+}
+
+var switchClassNames = map[string]DeviceClass{
+	"core": CoreDevice,
+	"io":   IODevice,
+}
+
+var capKindNames = map[string]CapacitorKind{
+	"mos":         MOSCap,
+	"mim":         MIMCap,
+	"deep-trench": DeepTrench,
+}
+
+var indKindNames = map[string]InductorKind{
+	"surface-mount":        SurfaceMount,
+	"integrated-thin-film": IntegratedThinFilm,
+}
+
+// WriteJSON serializes the node as indented JSON — a ready-made template
+// for user-defined technology nodes.
+func (n *Node) WriteJSON(w io.Writer) error {
+	jn := jsonNode{
+		Name:               n.Name,
+		FeatureM:           n.Feature,
+		VddNominal:         n.VddNominal,
+		GridSheetOhm:       n.GridSheetOhm,
+		LogicEnergyPerGate: n.LogicEnergyPerGate,
+		Switches:           map[string]jsonSwitch{},
+		Capacitors:         map[string]jsonCap{},
+		Inductors:          map[string]jsonInd{},
+	}
+	for name, class := range switchClassNames {
+		if s, ok := n.Switches[class]; ok {
+			jn.Switches[name] = jsonSwitch{
+				ROnWidth: s.ROnWidth, CGatePerWidth: s.CGatePerWidth,
+				CDrainPerWidth: s.CDrainPerWidth, LeakPerWidth: s.LeakPerWidth,
+				VMax: s.VMax, VDrive: s.VDrive, AreaPerWidth: s.AreaPerWidth,
+			}
+		}
+	}
+	for name, kind := range capKindNames {
+		if c, ok := n.Capacitors[kind]; ok {
+			jn.Capacitors[name] = jsonCap{
+				Density: c.Density, BottomPlateRatio: c.BottomPlateRatio,
+				LeakPerFarad: c.LeakPerFarad, ESROhmFarad: c.ESROhmFarad, VMax: c.VMax,
+			}
+		}
+	}
+	for name, kind := range indKindNames {
+		if l, ok := n.Inductors[kind]; ok {
+			jn.Inductors[name] = jsonInd{
+				Density: l.Density, FixedArea: l.FixedArea, DCRPerHenry: l.DCRPerHenry,
+				LFreqCoeff: l.LFreqCoeff, FSkin: l.FSkin, IMax: l.IMax,
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jn)
+}
+
+// LoadJSON parses a node definition. The node is validated (name, at least
+// one switch) but NOT registered; call AddNode to make it visible to
+// Lookup.
+func LoadJSON(r io.Reader) (*Node, error) {
+	var jn jsonNode
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jn); err != nil {
+		return nil, fmt.Errorf("tech: parsing node JSON: %w", err)
+	}
+	if jn.Name == "" {
+		return nil, fmt.Errorf("tech: node JSON needs a name")
+	}
+	if jn.FeatureM <= 0 || jn.VddNominal <= 0 {
+		return nil, fmt.Errorf("tech: node %q needs positive feature_m and vdd_nominal", jn.Name)
+	}
+	n := &Node{
+		Name:               jn.Name,
+		Feature:            jn.FeatureM,
+		VddNominal:         jn.VddNominal,
+		GridSheetOhm:       jn.GridSheetOhm,
+		LogicEnergyPerGate: jn.LogicEnergyPerGate,
+		Switches:           map[DeviceClass]SwitchDevice{},
+		Capacitors:         map[CapacitorKind]CapacitorOption{},
+		Inductors:          map[InductorKind]InductorOption{},
+	}
+	for name, js := range jn.Switches {
+		class, ok := switchClassNames[name]
+		if !ok {
+			return nil, fmt.Errorf("tech: unknown switch class %q (use core/io)", name)
+		}
+		if js.ROnWidth <= 0 || js.VMax <= 0 {
+			return nil, fmt.Errorf("tech: switch %q needs positive r_on_width and v_max", name)
+		}
+		vdr := js.VDrive
+		if vdr == 0 {
+			vdr = js.VMax
+		}
+		n.Switches[class] = SwitchDevice{
+			Class: class, ROnWidth: js.ROnWidth, CGatePerWidth: js.CGatePerWidth,
+			CDrainPerWidth: js.CDrainPerWidth, LeakPerWidth: js.LeakPerWidth,
+			VMax: js.VMax, VDrive: vdr, AreaPerWidth: js.AreaPerWidth,
+		}
+	}
+	if len(n.Switches) == 0 {
+		return nil, fmt.Errorf("tech: node %q defines no switches", jn.Name)
+	}
+	for name, jc := range jn.Capacitors {
+		kind, ok := capKindNames[name]
+		if !ok {
+			return nil, fmt.Errorf("tech: unknown capacitor kind %q (use mos/mim/deep-trench)", name)
+		}
+		if jc.Density <= 0 {
+			return nil, fmt.Errorf("tech: capacitor %q needs positive density", name)
+		}
+		n.Capacitors[kind] = CapacitorOption{
+			Kind: kind, Density: jc.Density, BottomPlateRatio: jc.BottomPlateRatio,
+			LeakPerFarad: jc.LeakPerFarad, ESROhmFarad: jc.ESROhmFarad, VMax: jc.VMax,
+		}
+	}
+	for name, jl := range jn.Inductors {
+		kind, ok := indKindNames[name]
+		if !ok {
+			return nil, fmt.Errorf("tech: unknown inductor kind %q (use surface-mount/integrated-thin-film)", name)
+		}
+		n.Inductors[kind] = InductorOption{
+			Kind: kind, Density: jl.Density, FixedArea: jl.FixedArea,
+			DCRPerHenry: jl.DCRPerHenry, LFreqCoeff: numeric.Polynomial(jl.LFreqCoeff),
+			FSkin: jl.FSkin, IMax: jl.IMax,
+		}
+	}
+	return n, nil
+}

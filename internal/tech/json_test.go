@@ -1,0 +1,103 @@
+package tech
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := MustLookup("45nm")
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != orig.Name || loaded.VddNominal != orig.VddNominal {
+		t.Errorf("basic fields lost: %+v", loaded)
+	}
+	for class, s := range orig.Switches {
+		ls, ok := loaded.Switches[class]
+		if !ok {
+			t.Fatalf("switch class %v lost", class)
+		}
+		if ls.ROnWidth != s.ROnWidth || ls.VMax != s.VMax || ls.VDrive != s.VDrive {
+			t.Errorf("switch %v fields differ: %+v vs %+v", class, ls, s)
+		}
+	}
+	for kind, c := range orig.Capacitors {
+		lc, ok := loaded.Capacitors[kind]
+		if !ok {
+			t.Fatalf("capacitor %v lost", kind)
+		}
+		if math.Abs(lc.Density-c.Density) > 1e-18 {
+			t.Errorf("capacitor %v density differs", kind)
+		}
+	}
+	for kind, l := range orig.Inductors {
+		ll, ok := loaded.Inductors[kind]
+		if !ok {
+			t.Fatalf("inductor %v lost", kind)
+		}
+		if len(ll.LFreqCoeff) != len(l.LFreqCoeff) {
+			t.Errorf("inductor %v polynomial lost", kind)
+		}
+	}
+}
+
+func TestLoadJSONMinimal(t *testing.T) {
+	deck := `{
+  "name": "custom-65",
+  "feature_m": 65e-9,
+  "vdd_nominal": 1.0,
+  "switches": {
+    "core": {"r_on_width_ohm_m": 1.5e-3, "c_gate_per_width_f_per_m": 1e-9, "v_max": 1.1}
+  }
+}`
+	n, err := LoadJSON(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "custom-65" {
+		t.Errorf("name %q", n.Name)
+	}
+	sw := n.Switches[CoreDevice]
+	// VDrive defaults to VMax when omitted.
+	if sw.VDrive != 1.1 {
+		t.Errorf("VDrive default = %v", sw.VDrive)
+	}
+	// Not registered until AddNode.
+	if _, err := Lookup("custom-65"); err == nil {
+		t.Error("LoadJSON must not auto-register")
+	}
+	if err := AddNode(n); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("custom-65"); err != nil {
+		t.Error("registered node should resolve")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{}`,
+		`{"name": "x"}`,
+		`{"name": "x", "feature_m": 1e-9, "vdd_nominal": 1}`,                                                             // no switches
+		`{"name": "x", "feature_m": 1e-9, "vdd_nominal": 1, "switches": {"weird": {"r_on_width_ohm_m": 1, "v_max": 1}}}`, // bad class
+		`{"name": "x", "feature_m": 1e-9, "vdd_nominal": 1, "switches": {"core": {"r_on_width_ohm_m": 0, "v_max": 1}}}`,  // zero Ron
+		`{"name": "x", "feature_m": 1e-9, "vdd_nominal": 1, "switches": {"core": {"r_on_width_ohm_m": 1, "v_max": 1}}, "capacitors": {"bogus": {"density_f_per_m2": 1}}}`,
+		`{"name": "x", "feature_m": 1e-9, "vdd_nominal": 1, "switches": {"core": {"r_on_width_ohm_m": 1, "v_max": 1}}, "capacitors": {"mos": {"density_f_per_m2": 0}}}`,
+		`{"name": "x", "feature_m": 1e-9, "vdd_nominal": 1, "switches": {"core": {"r_on_width_ohm_m": 1, "v_max": 1}}, "inductors": {"bogus": {}}}`,
+		`{"name": "x", "feature_m": 1e-9, "vdd_nominal": 1, "unknown_field": 3, "switches": {"core": {"r_on_width_ohm_m": 1, "v_max": 1}}}`,
+	}
+	for i, deck := range cases {
+		if _, err := LoadJSON(strings.NewReader(deck)); err == nil {
+			t.Errorf("case %d should fail: %s", i, deck)
+		}
+	}
+}

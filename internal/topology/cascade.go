@@ -1,0 +1,62 @@
+package topology
+
+import "fmt"
+
+// Cascade composes two analyzed stages into the analysis of the series
+// connection A -> B (A's output feeds B's input) — the hierarchical
+// composition of multi-stage conversion the paper supports. Per unit of
+// final output charge, stage B moves its own multipliers directly, while
+// stage A must source B's input charge (M_B per unit out, by charge
+// conservation in an ideal stage), so A's multipliers scale by M_B.
+// Element voltage ratings are referred to the overall input: B's elements
+// see voltages scaled by A's ratio.
+//
+// The result is exact for the ideal (no-load) ratio and for the SSL/FSL
+// multiplier bookkeeping; inter-stage decoupling is assumed stiff, which is
+// the same assumption the per-stage models make about their rails.
+func Cascade(name string, a, b *Analysis) (*Analysis, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("topology: Cascade needs two analyses")
+	}
+	if a.Ratio <= 0 || b.Ratio <= 0 {
+		return nil, fmt.Errorf("topology: Cascade needs positive stage ratios")
+	}
+	if name == "" {
+		name = fmt.Sprintf("%s -> %s", a.Name, b.Name)
+	}
+	out := &Analysis{
+		Name:        name,
+		Ratio:       a.Ratio * b.Ratio,
+		NumCaps:     a.NumCaps + b.NumCaps,
+		NumSwitches: a.NumSwitches + b.NumSwitches,
+	}
+	out.InputCharge = out.Ratio
+	// Stage A: multipliers scale by B's input charge per unit final output.
+	for i, m := range a.CapMultipliers {
+		out.CapMultipliers = append(out.CapMultipliers, m*b.Ratio)
+		out.CapVoltages = append(out.CapVoltages, a.CapVoltages[i])
+		out.CapBottomSwing = append(out.CapBottomSwing, a.CapBottomSwing[i])
+	}
+	for i, m := range a.SwitchMultipliers {
+		out.SwitchMultipliers = append(out.SwitchMultipliers, m*b.Ratio)
+		out.SwitchBlockVoltages = append(out.SwitchBlockVoltages, a.SwitchBlockVoltages[i])
+	}
+	// Stage B: multipliers pass through; voltages are fractions of B's
+	// input, which is a.Ratio of the overall input.
+	for i, m := range b.CapMultipliers {
+		out.CapMultipliers = append(out.CapMultipliers, m)
+		out.CapVoltages = append(out.CapVoltages, b.CapVoltages[i]*a.Ratio)
+		out.CapBottomSwing = append(out.CapBottomSwing, b.CapBottomSwing[i]*a.Ratio)
+	}
+	for i, m := range b.SwitchMultipliers {
+		out.SwitchMultipliers = append(out.SwitchMultipliers, m)
+		out.SwitchBlockVoltages = append(out.SwitchBlockVoltages, b.SwitchBlockVoltages[i]*a.Ratio)
+	}
+	for _, m := range out.CapMultipliers {
+		out.SumAC += m
+	}
+	for _, m := range out.SwitchMultipliers {
+		out.SumAR += m
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any valid ladder (p, q) yields ratio q/p, conserves power
+// (input charge == ratio), and produces positive multiplier sums.
+func TestLadderPropertyRandom(t *testing.T) {
+	f := func(pRaw, qRaw uint8) bool {
+		p := int(pRaw%7) + 2 // 2..8
+		q := int(qRaw)%(p-1) + 1
+		top, err := Ladder(p, q)
+		if err != nil {
+			return false
+		}
+		an, err := top.Analyze()
+		if err != nil {
+			return false
+		}
+		want := float64(q) / float64(p)
+		if math.Abs(an.Ratio-want) > 1e-6 {
+			return false
+		}
+		if math.Abs(an.InputCharge-an.Ratio) > 1e-5 {
+			return false
+		}
+		return an.SumAC > 0 && an.SumAR > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: scaling has no meaning at the topology level — analyzing twice
+// gives identical results (purity / determinism).
+func TestAnalyzeDeterministic(t *testing.T) {
+	f := func(pRaw uint8) bool {
+		p := int(pRaw%5) + 2
+		top, err := SeriesParallel(p, 1)
+		if err != nil {
+			return false
+		}
+		a1, err1 := top.Analyze()
+		a2, err2 := top.Analyze()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if a1.Ratio != a2.Ratio || a1.SumAC != a2.SumAC || a1.SumAR != a2.SumAR {
+			return false
+		}
+		for i := range a1.CapMultipliers {
+			if a1.CapMultipliers[i] != a2.CapMultipliers[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the SSL metric of the series-parallel family is minimal among
+// the built-in families at the same ratio (SP is SSL-optimal for its
+// ratios).
+func TestSeriesParallelSSLOptimalProperty(t *testing.T) {
+	for p := 2; p <= 6; p++ {
+		sp, err := SeriesParallel(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anSP, err := sp.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ld, err := Ladder(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anLD, err := ld.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anSP.SumAC > anLD.SumAC+1e-9 {
+			t.Errorf("p=%d: SP SumAC %.4f above ladder %.4f", p, anSP.SumAC, anLD.SumAC)
+		}
+		dk, err := Dickson(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		anDK, err := dk.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if anSP.SumAC > anDK.SumAC+1e-9 {
+			t.Errorf("p=%d: SP SumAC %.4f above dickson %.4f", p, anSP.SumAC, anDK.SumAC)
+		}
+	}
+}
