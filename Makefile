@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench experiments examples clean
+.PHONY: all build test vet lint race bench experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,17 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Physics-aware static analysis (floatcmp, nonfinite, powsquare,
+# unitsuffix, droppederr); exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/ivory-lint ./...
+
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the model packages.
+race:
+	$(GO) test -race ./internal/...
 
 # Full benchmark sweep (one timed iteration per experiment is enough to
 # regenerate every figure; raise -benchtime for stable timings).

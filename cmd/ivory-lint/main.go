@@ -1,0 +1,115 @@
+// Command ivory-lint runs Ivory's physics-aware static-analysis suite
+// (internal/analysis) over the module.
+//
+// Usage:
+//
+//	ivory-lint [flags] [packages]
+//
+// Packages default to ./... and accept plain directories or recursive
+// ./dir/... patterns. Exit status is 0 when clean, 1 when any analyzer
+// reports a finding, and 2 on usage or load errors.
+//
+// Findings are suppressed by a comment on the same line or the line
+// above:
+//
+//	//lint:ignore floatcmp comparing against the exact sentinel we stored
+//
+// The reason is mandatory; a directive without one is itself reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ivory/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	unitAllow := flag.String("unitsuffix.allow", "", "comma-separated extra unit tokens for the unitsuffix analyzer")
+	nonfinitePkgs := flag.String("nonfinite.pkgs", "", "comma-separated extra package suffixes for the nonfinite analyzer")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ivory-lint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	known := map[string]bool{}
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	disabled := map[string]bool{}
+	for _, n := range splitList(*disable) {
+		if !known[n] {
+			fmt.Fprintf(os.Stderr, "ivory-lint: unknown analyzer %q in -disable (have:", n)
+			for _, a := range all {
+				fmt.Fprintf(os.Stderr, " %s", a.Name)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+			return 2
+		}
+		disabled[n] = true
+	}
+	for _, tok := range splitList(*unitAllow) {
+		analysis.UnitWords[strings.ToLower(tok)] = true
+	}
+	analysis.NonFinitePackages = append(analysis.NonFinitePackages, splitList(*nonfinitePkgs)...)
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivory-lint:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivory-lint:", err)
+		return 2
+	}
+	runner := &analysis.Runner{Analyzers: all, Disabled: disabled}
+	diags, err := runner.Run(pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivory-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ivory-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

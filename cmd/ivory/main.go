@@ -102,7 +102,7 @@ func cmdNodes() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8s Vdd=%.2fV  feature=%.0fnm\n", n, node.VddNominal, node.Feature*1e9)
+		fmt.Printf("%-8s Vdd=%.2fV  feature=%.0fnm\n", n, node.VddNominal, node.FeatureM*1e9)
 	}
 	return nil
 }
@@ -256,14 +256,13 @@ func cmdDynamic(args []string) error {
 	fmt.Printf("V_out: mean %.4f V, min %.4f V, max %.4f V, noise %.1f mVpp, avg fsw %.1f MHz\n",
 		st.Mean, st.Min, st.Max, tr.PeakToPeak()*1e3, tr.AvgFSw/1e6)
 	if *csv != "" {
-		f, err := os.Create(*csv)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		fmt.Fprintln(f, "t_s,v_out")
+		var b strings.Builder
+		b.WriteString("t_s,v_out\n")
 		for i := range tr.Times {
-			fmt.Fprintf(f, "%.9e,%.6f\n", tr.Times[i], tr.V[i])
+			fmt.Fprintf(&b, "%.9e,%.6f\n", tr.Times[i], tr.V[i])
+		}
+		if err := os.WriteFile(*csv, []byte(b.String()), 0o644); err != nil {
+			return err
 		}
 		fmt.Printf("waveform written to %s (%d samples)\n", *csv, len(tr.Times))
 	}
@@ -289,7 +288,9 @@ func cmdSim(args []string) error {
 			return err
 		}
 		n, err := ivory.LoadNodeJSON(f)
-		f.Close()
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -309,7 +310,8 @@ func cmdSim(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// Read-only handle: a close failure cannot lose data.
+	defer func() { _ = f.Close() }()
 	ckt, err := ivory.ParseNetlist(f)
 	if err != nil {
 		return err
@@ -341,23 +343,22 @@ func cmdSim(args []string) error {
 		}
 	}
 	if *csv != "" {
-		out, err := os.Create(*csv)
-		if err != nil {
-			return err
-		}
-		defer out.Close()
+		var b strings.Builder
 		nodes := ckt.Nodes()
-		fmt.Fprint(out, "t_s")
+		b.WriteString("t_s")
 		for _, n := range nodes {
-			fmt.Fprintf(out, ",%s", n)
+			fmt.Fprintf(&b, ",%s", n)
 		}
-		fmt.Fprintln(out)
+		b.WriteByte('\n')
 		for k := range res.Times {
-			fmt.Fprintf(out, "%.9e", res.Times[k])
+			fmt.Fprintf(&b, "%.9e", res.Times[k])
 			for _, n := range nodes {
-				fmt.Fprintf(out, ",%.6f", res.V[n][k])
+				fmt.Fprintf(&b, ",%.6f", res.V[n][k])
 			}
-			fmt.Fprintln(out)
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(*csv, []byte(b.String()), 0o644); err != nil {
+			return err
 		}
 		fmt.Printf("waveforms written to %s\n", *csv)
 	}

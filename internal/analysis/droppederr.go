@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr flags statements that call a function returning an error and
+// discard it.
+//
+// The CSV/report writers are how experiment data leaves the tool; a
+// dropped Write/Flush/Close error means a truncated results file that
+// looks complete. The analyzer covers plain call statements, defer, and
+// go statements whose callee's last result is error.
+//
+// Exemptions, tuned to this codebase's idioms:
+//   - methods on *strings.Builder and *bytes.Buffer (documented to never
+//     return a non-nil error);
+//   - fmt.Print/Printf/Println (best-effort terminal output);
+//   - fmt.Fprint* when the destination is os.Stdout, os.Stderr, a
+//     *strings.Builder, or a *bytes.Buffer.
+//
+// To discard an error on purpose, assign it: `_ = f.Close()`.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "flag call statements whose error result is discarded",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) error {
+	check := func(call *ast.CallExpr, how string) {
+		if !returnsErrLast(pass, call) || exemptCall(pass, call) {
+			return
+		}
+		name := CalleeName(call)
+		if name == "" {
+			name = "call"
+		}
+		pass.Reportf(call.Pos(), "error result of %s%s is discarded; handle it or assign it to _ explicitly", how, name)
+	}
+	pass.WalkFiles(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				check(call, "")
+			}
+		case *ast.DeferStmt:
+			check(n.Call, "deferred ")
+		case *ast.GoStmt:
+			check(n.Call, "go ")
+		}
+		return true
+	})
+	return nil
+}
+
+// returnsErrLast reports whether the call's last result is error.
+func returnsErrLast(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return last.String() == "error"
+}
+
+// exemptCall applies the codebase-idiom exemptions.
+func exemptCall(pass *Pass, call *ast.CallExpr) bool {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	// Infallible in-memory writers.
+	if recvIsBuffer(fn) {
+		return true
+	}
+	switch full {
+	case "fmt.Print", "fmt.Printf", "fmt.Println":
+		return true
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		return bufferDest(pass, call.Args[0]) || stdStream(call.Args[0])
+	}
+	return false
+}
+
+// recvIsBuffer reports whether fn is a method on *strings.Builder or
+// *bytes.Buffer.
+func recvIsBuffer(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isBufferType(sig.Recv().Type())
+}
+
+// bufferDest reports whether the expression's type is *strings.Builder
+// or *bytes.Buffer.
+func bufferDest(pass *Pass, e ast.Expr) bool {
+	return isBufferType(pass.TypeOf(e))
+}
+
+func isBufferType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "*strings.Builder" || s == "*bytes.Buffer" || s == "strings.Builder" || s == "bytes.Buffer"
+}
+
+// stdStream reports whether e is the selector os.Stdout or os.Stderr.
+func stdStream(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "os" {
+		return false
+	}
+	return sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr"
+}

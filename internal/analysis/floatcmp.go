@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatCmp flags == and != where either operand is floating-point.
+//
+// Model outputs travel through long chains of float64 arithmetic
+// (impedances, losses, efficiencies); exact equality on such values is
+// almost always a latent bug — two mathematically equal results differ in
+// the last ulp and the comparison silently flips. Use an epsilon
+// comparison (numeric.ApproxEqual) instead.
+//
+// Comparisons against a literal 0 are exempt: this codebase uses exact
+// zero as the "field not set, apply the default" sentinel in Config
+// validation (e.g. sc.Config.Duty), and IEEE-754 zero compares are exact.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag == / != on floating-point operands (except the zero-value sentinel)",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) error {
+	pass.WalkFiles(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if !IsFloat(pass.TypeOf(be.X)) && !IsFloat(pass.TypeOf(be.Y)) {
+			return true
+		}
+		if isZeroLiteral(be.X) || isZeroLiteral(be.Y) {
+			return true
+		}
+		// A comparison folded entirely at compile time is exact.
+		if tv, ok := pass.Info.Types[be]; ok && tv.Value != nil {
+			return true
+		}
+		pass.Reportf(be.OpPos, "floating-point %s comparison; use an epsilon comparison (numeric.ApproxEqual)", be.Op)
+		return true
+	})
+	return nil
+}
+
+// isZeroLiteral reports whether e is a literal 0 (or 0.0, or -0), the
+// zero-value sentinel exempted from floatcmp.
+func isZeroLiteral(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || (bl.Kind != token.INT && bl.Kind != token.FLOAT) {
+		return false
+	}
+	for _, c := range bl.Value {
+		if c != '0' && c != '.' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and typechecked package, ready to be
+// handed to analyzers.
+type Package struct {
+	// Path is the import path ("ivory/internal/sc"); external test
+	// packages get a ".test" suffix.
+	Path string
+	// Dir is the directory the sources live in.
+	Dir string
+	// Fset is shared by every package of one Load call.
+	Fset *token.FileSet
+	// Files are the parsed files, in file-name order. In-package _test.go
+	// files are included with their package; package foo_test files form
+	// their own Package.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load parses and typechecks every package matched by patterns, relative
+// to dir (typically the module root). Supported patterns are plain
+// directories ("./internal/sc") and recursive ones ("./...",
+// "./internal/..."). Typechecking resolves imports from source via
+// go/importer, so the module's own packages and the standard library are
+// both available without compiled artifacts.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	root, modPath, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, d := range dirs {
+		loaded, err := loadDir(fset, imp, root, modPath, d)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// moduleRoot ascends from dir to the enclosing go.mod and returns its
+// directory and module path.
+func moduleRoot(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+	}
+}
+
+// expandPatterns resolves package patterns to a sorted list of candidate
+// directories containing .go files.
+func expandPatterns(base string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		start := pat
+		if !filepath.IsAbs(start) {
+			start = filepath.Join(base, start)
+		}
+		fi, err := os.Stat(start)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: pattern %q: %w", pat, err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("analysis: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			if hasGoFiles(start) {
+				add(start)
+			}
+			continue
+		}
+		err = filepath.WalkDir(start, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != start && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses every .go file in dir and typechecks each package found
+// there (the package proper, in-package tests merged in, and any external
+// _test package separately).
+func loadDir(fset *token.FileSet, imp types.Importer, root, modPath, dir string) ([]*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string][]*ast.File{}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		n := f.Name.Name
+		if _, ok := byName[n]; !ok {
+			names = append(names, n)
+		}
+		byName[n] = append(byName[n], f)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	importPath := modPath
+	if rel != "." {
+		importPath = modPath + "/" + filepath.ToSlash(rel)
+	}
+	sort.Strings(names)
+	var pkgs []*Package
+	for _, n := range names {
+		path := importPath
+		if strings.HasSuffix(n, "_test") {
+			path += ".test"
+		}
+		p, err := check(fset, imp, path, byName[n])
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", dir, err)
+		}
+		p.Dir = dir
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// check typechecks one package's files.
+func check(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("typecheck: %w (and %d more)", typeErrs[0], len(typeErrs)-1)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// PowSquare flags math.Pow with a constant exponent of 2 or 0.5.
+//
+// The sweep loops evaluate millions of design points; math.Pow is a
+// general transcendental routine costing tens of nanoseconds, while x*x
+// is a single multiply and math.Sqrt a single hardware instruction —
+// both also bit-exact where Pow is only faithfully rounded. On the hot
+// paths (R_out, ripple, loss sums) the substitution is measurable.
+var PowSquare = &Analyzer{
+	Name: "powsquare",
+	Doc:  "flag math.Pow(x, 2) and math.Pow(x, 0.5); prefer x*x and math.Sqrt",
+	Run:  runPowSquare,
+}
+
+func runPowSquare(pass *Pass) error {
+	pass.WalkFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.FullName() != "math.Pow" {
+			return true
+		}
+		tv, ok := pass.Info.Types[call.Args[1]]
+		if !ok || tv.Value == nil {
+			return true
+		}
+		exp, ok := constant.Float64Val(constant.ToFloat(tv.Value))
+		if !ok {
+			return true
+		}
+		switch exp {
+		case 2:
+			pass.Reportf(call.Pos(), "math.Pow(x, 2) on a sweep path; write x*x (exact and far cheaper)")
+		case 0.5:
+			pass.Reportf(call.Pos(), "math.Pow(x, 0.5) on a sweep path; write math.Sqrt(x) (exact and far cheaper)")
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,12 @@
+package analysis
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DroppedErr,
+		FloatCmp,
+		NonFinite,
+		PowSquare,
+		UnitSuffix,
+	}
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// Runner executes a set of analyzers over loaded packages, applies
+// //lint:ignore suppression, and returns the surviving diagnostics in
+// position order.
+type Runner struct {
+	// Analyzers are run in order over every package.
+	Analyzers []*Analyzer
+	// Disabled names analyzers to skip.
+	Disabled map[string]bool
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	names  map[string]bool // analyzer names it suppresses
+	line   int             // line the comment sits on
+	broken string          // non-empty: malformed-directive message
+}
+
+// Run executes the enabled analyzers over pkgs. A diagnostic is dropped
+// when a matching `//lint:ignore <name> <reason>` comment sits on the
+// same line or the line directly above it. Malformed directives (missing
+// analyzer name or reason) are themselves reported under the "ignore"
+// analyzer so they cannot silently suppress nothing.
+func (r *Runner) Run(pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range r.Analyzers {
+			if r.Disabled[a.Name] {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	diags = r.suppress(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppress applies ignore directives and appends diagnostics for
+// malformed ones.
+func (r *Runner) suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	// filename -> line -> directives on that line.
+	byFile := map[string]map[int][]ignoreDirective{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, ok := parseIgnore(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					d.line = pos.Line
+					m := byFile[pos.Filename]
+					if m == nil {
+						m = map[int][]ignoreDirective{}
+						byFile[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], d)
+					if d.broken != "" {
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "ignore",
+							Message:  d.broken,
+						})
+					}
+				}
+			}
+		}
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer != "ignore" && suppressed(byFile, d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func suppressed(byFile map[string]map[int][]ignoreDirective, d Diagnostic) bool {
+	lines := byFile[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	// Trailing comment on the same line, or a directive on the line above.
+	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[ln] {
+			if dir.broken == "" && dir.names[d.Analyzer] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseIgnore recognizes `//lint:ignore name1,name2 reason...`. The
+// second return is false for comments that are not lint directives at
+// all; a malformed directive returns true with broken set.
+func parseIgnore(text string) (ignoreDirective, bool) {
+	rest, ok := strings.CutPrefix(text, "//lint:ignore")
+	if !ok {
+		return ignoreDirective{}, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return ignoreDirective{
+			broken: "malformed //lint:ignore directive: want `//lint:ignore <analyzer>[,<analyzer>] <reason>`",
+		}, true
+	}
+	names := map[string]bool{}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names[n] = true
+		}
+	}
+	return ignoreDirective{names: names}, true
+}
+
+// WalkFiles applies fn to every node of every file in the pass.
+func (p *Pass) WalkFiles(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"ivory/internal/ivr"
+	"ivory/internal/numeric"
 	"ivory/internal/tech"
 )
 
@@ -170,7 +171,7 @@ func (d *Design) RippleVoltage(iLoad float64) float64 {
 // transition, proportional to the node's gate delay (~4 FO4 delays; an FO4
 // is roughly 0.5 ns per micron of feature size, so 2e-3 s/m of feature).
 func (d *Design) switchTime() float64 {
-	return 2e-3 * d.cfg.Node.Feature // ~90 ps at 45 nm
+	return 2e-3 * d.cfg.Node.FeatureM // ~90 ps at 45 nm
 }
 
 // Evaluate computes the static metrics at load current iLoad (A).
@@ -216,7 +217,7 @@ func (d *Design) Evaluate(iLoad float64) (ivr.Metrics, error) {
 	// interval.
 	loss.Leakage = n * ((1-dty)*d.devHS.Leakage(d.wHS) + dty*d.devLS.Leakage(d.wLS)) * cfg.VIn
 
-	eg := cfg.Node.LogicEnergyPerGate
+	eg := cfg.Node.LogicEnergyPerGateJ
 	loss.Control = ctrlStaticW + cfg.FSw*eg*float64(ctrlGates+clockGates*cfg.Interleave)
 
 	pOut := cfg.VOut * iLoad
@@ -224,7 +225,7 @@ func (d *Design) Evaluate(iLoad float64) (ivr.Metrics, error) {
 	if pOut > 0 {
 		eff = pOut / (pOut + loss.Total())
 	}
-	return ivr.Metrics{
+	m := ivr.Metrics{
 		Topology:   fmt.Sprintf("buck %dphase", cfg.Interleave),
 		VIn:        cfg.VIn,
 		VOut:       cfg.VOut,
@@ -236,7 +237,11 @@ func (d *Design) Evaluate(iLoad float64) (ivr.Metrics, error) {
 		FSw:        cfg.FSw,
 		AreaDie:    d.AreaDie(),
 		AreaBoard:  d.AreaBoard(),
-	}, nil
+	}
+	if err := m.Finite(); err != nil {
+		return ivr.Metrics{}, err
+	}
+	return m, nil
 }
 
 // AreaDie returns the silicon area (m²): integrated inductors, output caps,
@@ -244,12 +249,12 @@ func (d *Design) Evaluate(iLoad float64) (ivr.Metrics, error) {
 func (d *Design) AreaDie() float64 {
 	cfg := d.cfg
 	a := 0.0
-	if d.ind.Density > 0 { // integrated inductor lives on-die
+	if d.ind.DensityHPerM2 > 0 { // integrated inductor lives on-die
 		a += float64(cfg.Interleave) * d.ind.Area(cfg.L)
 	}
 	a += d.outCap.Area(cfg.COut)
 	a += float64(d.stackHS)*d.devHS.Area(d.wHS) + float64(d.stackLS)*d.devLS.Area(d.wLS)
-	f := cfg.Node.Feature
+	f := cfg.Node.FeatureM
 	a += float64(ctrlGates+clockGates*cfg.Interleave) * 40 * f * f * 25
 	return a * routingTax
 }
@@ -257,10 +262,10 @@ func (d *Design) AreaDie() float64 {
 // AreaBoard returns the board footprint (m²) of discrete inductors, zero
 // for fully integrated designs.
 func (d *Design) AreaBoard() float64 {
-	if d.ind.Density > 0 {
+	if d.ind.DensityHPerM2 > 0 {
 		return 0
 	}
-	return float64(d.cfg.Interleave) * d.ind.FixedArea
+	return float64(d.cfg.Interleave) * d.ind.FixedAreaM2
 }
 
 // OptimizeConductances returns a copy of the design with the high/low-side
@@ -281,6 +286,9 @@ func (d *Design) OptimizeConductances(iLoad float64) (*Design, error) {
 	}
 	cfg.GHigh = opt(d.devHS, d.stackHS, dty)
 	cfg.GLow = opt(d.devLS, d.stackLS, 1-dty)
+	if err := numeric.AllFinite("buck: optimized conductances", cfg.GHigh, cfg.GLow); err != nil {
+		return nil, err
+	}
 	return New(cfg)
 }
 

@@ -236,8 +236,8 @@ func (r *Result) exploreSC(spec Spec, node *tech.Node) {
 				continue
 			}
 			for _, capShare := range []float64{0.50, 0.70, 0.85, 0.93, 0.97} {
-				cTot := capOpt.Density * usable * capShare * 0.9 // 10% to decap
-				cDecap := capOpt.Density * usable * capShare * 0.1
+				cTot := capOpt.DensityFPerM2 * usable * capShare * 0.9 // 10% to decap
+				cDecap := capOpt.DensityFPerM2 * usable * capShare * 0.1
 				gTot, err := sc.GTotalForSwitchArea(an, node, spec.VIn, usable*(1-capShare))
 				if err != nil {
 					r.Rejected++

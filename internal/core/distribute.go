@@ -38,6 +38,8 @@ type DistributionRow struct {
 // ExploreDistribution splits the chip-level spec across each distribution
 // count (per-instance current and area divide by the count) and finds the
 // best design of every family at every count.
+//
+//lint:ignore nonfinite divisions are by validated counts >= 1 on a spec already finiteness-checked by defaults()
 func ExploreDistribution(spec Spec, counts []int) (*DistributionTable, error) {
 	if err := spec.defaults(); err != nil {
 		return nil, err

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"ivory/internal/numeric"
 )
 
 // Stage1Model evaluates the first (off-chip / upstream) conversion stage:
@@ -93,6 +95,12 @@ func ExploreTwoStage(spec Spec, vmids []float64, stage1 Stage1Model) (*TwoStageR
 		}
 		row.Stage1Eff = e1
 		row.Combined = e1 * row.Stage2Eff
+		if numeric.Finite("combined efficiency", row.Combined) != nil {
+			// A degenerate stage-2 efficiency poisons the ranking below;
+			// record the rail as infeasible instead.
+			res.Rows = append(res.Rows, TwoStageRow{VMid: vmid})
+			continue
+		}
 		row.Feasible = true
 		res.Rows = append(res.Rows, row)
 		if res.Best == nil || row.Combined > res.Best.Combined {

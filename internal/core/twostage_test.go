@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"testing"
+
+	"ivory/internal/numeric"
 )
 
 func constStage1(eff float64) Stage1Model {
@@ -19,7 +21,7 @@ func TestExploreTwoStageBasics(t *testing.T) {
 		t.Fatal("no feasible two-stage point")
 	}
 	for _, row := range res.Rows {
-		if row.Feasible && row.Stage1Eff != 0.92 {
+		if row.Feasible && !numeric.ApproxEqual(row.Stage1Eff, 0.92, 0) {
 			t.Errorf("stage-1 efficiency not honored: %v", row.Stage1Eff)
 		}
 	}

@@ -146,6 +146,9 @@ func (s *BuckSimulator) Run(iLoad, vRef Signal, T, dt float64) (*Trace, error) {
 		tr.V = append(tr.V, v)
 	}
 	tr.AvgFSw = p.FSw
+	if err := tr.Finite(); err != nil {
+		return nil, err
+	}
 	return tr, nil
 }
 

@@ -373,7 +373,7 @@ func TestFreqModelRegulationAdvantage(t *testing.T) {
 
 func TestSignalsAndTrace(t *testing.T) {
 	s := Sampled([]float64{1, 2, 3}, 1e-6)
-	if s(-1) != 1 || s(0.5e-6) != 1 || s(1.5e-6) != 2 || s(10e-6) != 3 {
+	if !numeric.ApproxEqual(s(-1), 1, 0) || !numeric.ApproxEqual(s(0.5e-6), 1, 0) || !numeric.ApproxEqual(s(1.5e-6), 2, 0) || !numeric.ApproxEqual(s(10e-6), 3, 0) {
 		t.Error("Sampled wrong")
 	}
 	tn := Tones(5, []float64{1}, []float64{1e6})
@@ -469,7 +469,7 @@ func TestFromDesignMappings(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := SCFromDesign(scd)
-	if p.Ratio != an.Ratio || p.Interleave != 4 {
+	if !numeric.ApproxEqual(p.Ratio, an.Ratio, 0) || p.Interleave != 4 {
 		t.Errorf("SCFromDesign fields wrong: %+v", p)
 	}
 	// CEq reproduces RSSL at any frequency: 1/(CEq*f) == RSSL(f).
@@ -502,7 +502,7 @@ func TestFromDesignMappings(t *testing.T) {
 		t.Fatal(err)
 	}
 	bp := BuckFromDesign(bkd)
-	if bp.VIn != 1.8 || bp.Interleave != 2 || bp.L <= 0 {
+	if !numeric.ApproxEqual(bp.VIn, 1.8, 0) || bp.Interleave != 2 || bp.L <= 0 {
 		t.Errorf("BuckFromDesign fields wrong: %+v", bp)
 	}
 	if err := (&BuckSimulator{P: bp}).Validate(); err != nil {
@@ -514,7 +514,7 @@ func TestFromDesignMappings(t *testing.T) {
 		t.Fatal(err)
 	}
 	lp := LDOFromDesign(ld)
-	if lp.GPass != 10 || lp.Segments < 2 {
+	if !numeric.ApproxEqual(lp.GPass, 10, 0) || lp.Segments < 2 {
 		t.Errorf("LDOFromDesign fields wrong: %+v", lp)
 	}
 	if err := (&LDOSimulator{P: lp}).Validate(); err != nil {

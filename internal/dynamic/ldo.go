@@ -115,6 +115,9 @@ func (s *LDOSimulator) Run(iLoad, vRef Signal, T, dt float64) (*Trace, error) {
 		tr.V = append(tr.V, v)
 	}
 	tr.AvgFSw = p.FSample
+	if err := tr.Finite(); err != nil {
+		return nil, err
+	}
 	return tr, nil
 }
 

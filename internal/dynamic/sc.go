@@ -174,6 +174,9 @@ func (s *SCSimulator) Run(iLoad, vRef Signal, T, dt float64) (*Trace, error) {
 	if T > 0 {
 		tr.AvgFSw = float64(tr.SwitchEvents) / float64(n) / T
 	}
+	if err := tr.Finite(); err != nil {
+		return nil, err
+	}
 	return tr, nil
 }
 
@@ -265,6 +268,9 @@ func (s *SCSimulator) RunPI(iLoad, vRef Signal, T, dt float64, kp, ki float64) (
 	if tr.SwitchEvents > 0 {
 		tr.AvgFSw = fswSum / float64(tr.SwitchEvents)
 	}
+	if err := tr.Finite(); err != nil {
+		return nil, err
+	}
 	return tr, nil
 }
 
@@ -299,5 +305,8 @@ func (s *SCSimulator) CycleByCycle(iLoad Signal, fsw, T float64) (*Trace, error)
 		tr.SwitchEvents++
 	}
 	tr.AvgFSw = fsw
+	if err := tr.Finite(); err != nil {
+		return nil, err
+	}
 	return tr, nil
 }

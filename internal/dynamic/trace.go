@@ -74,6 +74,17 @@ type Trace struct {
 	AvgFSw float64
 }
 
+// Finite verifies every sample of the trace is finite. The simulators
+// call it before returning so that an unstable integration (NaN/Inf
+// creeping into the waveform) surfaces as an error rather than corrupting
+// downstream droop/ripple statistics.
+func (tr *Trace) Finite() error {
+	if err := numeric.AllFinite("dynamic: trace voltage", tr.V...); err != nil {
+		return err
+	}
+	return numeric.Finite("dynamic: average f_sw", tr.AvgFSw)
+}
+
 // Stats summarizes the waveform.
 func (tr *Trace) Stats() numeric.Summary { return numeric.Summarize(tr.V) }
 

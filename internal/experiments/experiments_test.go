@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"ivory/internal/numeric"
 )
 
 func TestFig4SpeedupShape(t *testing.T) {
@@ -207,7 +209,7 @@ func TestFig12AreaTradeoff(t *testing.T) {
 	}
 	// At the case-study budget (20 mm2) SC beats buck.
 	for _, p := range r.Points {
-		if p.AreaMM2 == 20 {
+		if numeric.ApproxEqual(p.AreaMM2, 20, 0) {
 			if p.EffSC <= p.EffBuck {
 				t.Errorf("at 20 mm2 SC should beat buck: %.3f vs %.3f", p.EffSC, p.EffBuck)
 			}

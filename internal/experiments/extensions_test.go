@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"ivory/internal/report"
+
+	"ivory/internal/numeric"
 )
 
 // Every extension result emits plot-ready CSVs.
@@ -63,7 +65,7 @@ func TestAblationsAllMeaningful(t *testing.T) {
 		t.Errorf("roll-off should increase ripple: %.3f vs %.3f", a.Baseline, a.Ablated)
 	}
 	// The cycle-only model misrepresents high-frequency ripple.
-	if a := byName["in-cycle model"]; a.Baseline == a.Ablated {
+	if a := byName["in-cycle model"]; numeric.ApproxEqual(a.Baseline, a.Ablated, 0) {
 		t.Error("in-cycle model should change the HF ripple estimate")
 	}
 	if !strings.Contains(r.Format(), "Ablations") {

@@ -67,9 +67,9 @@ func Variation(samples int, sigma float64) (*VariationResult, error) {
 		// The fabricated capacitor bank shrinks/grows with density.
 		capBase, err1 := baseNode.Capacitor(cfg.CapKind)
 		capVar, err2 := node.Capacitor(cfg.CapKind)
-		if err1 == nil && err2 == nil && capBase.Density > 0 {
-			cfg.CTotal *= capVar.Density / capBase.Density
-			cfg.CDecap *= capVar.Density / capBase.Density
+		if err1 == nil && err2 == nil && capBase.DensityFPerM2 > 0 {
+			cfg.CTotal *= capVar.DensityFPerM2 / capBase.DensityFPerM2
+			cfg.CDecap *= capVar.DensityFPerM2 / capBase.DensityFPerM2
 		}
 		d, err := sc.New(cfg)
 		if err != nil {
@@ -111,7 +111,7 @@ func perturbNode(n *tech.Node, sigma float64, rng *rand.Rand, k int) *tech.Node 
 	}
 	out.Capacitors = map[tech.CapacitorKind]tech.CapacitorOption{}
 	for kind, c := range n.Capacitors {
-		c.Density *= mul()
+		c.DensityFPerM2 *= mul()
 		out.Capacitors[kind] = c
 	}
 	out.Inductors = n.Inductors

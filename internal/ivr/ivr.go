@@ -7,7 +7,11 @@
 // comparisons fair.
 package ivr
 
-import "fmt"
+import (
+	"fmt"
+
+	"ivory/internal/numeric"
+)
 
 // LossBreakdown itemizes converter power losses (W).
 type LossBreakdown struct {
@@ -61,6 +65,30 @@ type Metrics struct {
 	// AreaDie is the silicon area of the converter (m²); AreaBoard is any
 	// board/package footprint (discrete inductors, etc.).
 	AreaDie, AreaBoard float64
+}
+
+// Finite verifies that every numeric field of the metrics is finite. The
+// model packages call it at their Evaluate return boundaries so that a
+// pathological sweep point becomes an error instead of a NaN that
+// silently loses every comparison in the optimizer's ranking.
+func (m Metrics) Finite() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"VIn", m.VIn}, {"VOut", m.VOut}, {"ILoad", m.ILoad}, {"POut", m.POut},
+		{"Efficiency", m.Efficiency}, {"RippleVpp", m.RippleVpp}, {"FSw", m.FSw},
+		{"AreaDie", m.AreaDie}, {"AreaBoard", m.AreaBoard},
+		{"Loss.Conduction", m.Loss.Conduction}, {"Loss.GateDrive", m.Loss.GateDrive},
+		{"Loss.Parasitic", m.Loss.Parasitic}, {"Loss.Leakage", m.Loss.Leakage},
+		{"Loss.Control", m.Loss.Control}, {"Loss.Magnetic", m.Loss.Magnetic},
+		{"Loss.Dropout", m.Loss.Dropout},
+	} {
+		if err := numeric.Finite(f.name, f.v); err != nil {
+			return fmt.Errorf("ivr: %s metrics not finite: %w", m.Topology, err)
+		}
+	}
+	return nil
 }
 
 // String summarizes the metrics for logs and reports.

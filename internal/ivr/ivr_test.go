@@ -4,6 +4,8 @@ import (
 	"errors"
 	"strings"
 	"testing"
+
+	"ivory/internal/numeric"
 )
 
 func TestLossBreakdownTotal(t *testing.T) {
@@ -11,7 +13,7 @@ func TestLossBreakdownTotal(t *testing.T) {
 		Conduction: 1, GateDrive: 2, Parasitic: 3,
 		Leakage: 4, Control: 5, Magnetic: 6, Dropout: 7,
 	}
-	if l.Total() != 28 {
+	if !numeric.ApproxEqual(l.Total(), 28, 0) {
 		t.Errorf("Total = %v, want 28", l.Total())
 	}
 	var zero LossBreakdown

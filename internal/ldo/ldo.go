@@ -124,7 +124,7 @@ func (d *Design) Evaluate(iLoad float64) (ivr.Metrics, error) {
 	iq := iLoad * (1/cfg.CurrentEfficiency - 1)
 	loss.Leakage = iq * cfg.VIn
 	// Digital controller and comparator.
-	eg := cfg.Node.LogicEnergyPerGate
+	eg := cfg.Node.LogicEnergyPerGateJ
 	loss.Control = ctrlStaticW + cfg.FSample*eg*float64(ctrlGates*cfg.Interleave)
 	// Pass-array gate activity: only a fraction of segments toggle per
 	// sample in steady state; charge a tenth of the array per cycle.
@@ -136,7 +136,7 @@ func (d *Design) Evaluate(iLoad float64) (ivr.Metrics, error) {
 	if pOut > 0 {
 		eff = pOut / (pOut + loss.Total())
 	}
-	return ivr.Metrics{
+	m := ivr.Metrics{
 		Topology:   "digital LDO",
 		VIn:        cfg.VIn,
 		VOut:       cfg.VOut,
@@ -147,7 +147,11 @@ func (d *Design) Evaluate(iLoad float64) (ivr.Metrics, error) {
 		RippleVpp:  d.Ripple(iLoad),
 		FSw:        cfg.FSample,
 		AreaDie:    d.Area(),
-	}, nil
+	}
+	if err := m.Finite(); err != nil {
+		return ivr.Metrics{}, err
+	}
+	return m, nil
 }
 
 // Area returns the die area (m²): pass array, output cap, controller.
@@ -160,7 +164,7 @@ func (d *Design) Area() float64 {
 		capOpt, _ = cfg.Node.Capacitor(tech.MOSCap)
 	}
 	a += capOpt.Area(cfg.COut)
-	f := cfg.Node.Feature
+	f := cfg.Node.FeatureM
 	a += float64(ctrlGates*cfg.Interleave) * 40 * f * f * 25
 	return a * routingTax
 }

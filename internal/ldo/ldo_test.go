@@ -7,6 +7,8 @@ import (
 
 	"ivory/internal/ivr"
 	"ivory/internal/tech"
+
+	"ivory/internal/numeric"
 )
 
 func baseConfig() Config {
@@ -166,7 +168,7 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := d.Config()
-	if got.CurrentEfficiency != defaultEtaI || got.Interleave != 1 {
+	if !numeric.ApproxEqual(got.CurrentEfficiency, defaultEtaI, 0) || got.Interleave != 1 {
 		t.Errorf("defaults not applied: %+v", got)
 	}
 }

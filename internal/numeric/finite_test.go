@@ -1,0 +1,64 @@
+package numeric
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFinite(t *testing.T) {
+	if err := Finite("eff", 0.93); err != nil {
+		t.Fatalf("finite value rejected: %v", err)
+	}
+	if err := Finite("eff", 0); err != nil {
+		t.Fatalf("zero rejected: %v", err)
+	}
+	if err := Finite("eff", math.NaN()); err == nil || !strings.Contains(err.Error(), "eff is NaN") {
+		t.Fatalf("NaN: got %v", err)
+	}
+	if err := Finite("eff", math.Inf(1)); err == nil || !strings.Contains(err.Error(), "+Inf") {
+		t.Fatalf("+Inf: got %v", err)
+	}
+	if err := Finite("eff", math.Inf(-1)); err == nil || !strings.Contains(err.Error(), "-Inf") {
+		t.Fatalf("-Inf: got %v", err)
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if err := AllFinite("vs"); err != nil {
+		t.Fatalf("empty list rejected: %v", err)
+	}
+	if err := AllFinite("vs", 1, 2, 3); err != nil {
+		t.Fatalf("finite list rejected: %v", err)
+	}
+	err := AllFinite("vs", 1, math.NaN(), math.Inf(1))
+	if err == nil || !strings.Contains(err.Error(), "vs[1]") {
+		t.Fatalf("want first bad index reported, got %v", err)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},                       // bit-exact at tol 0
+		{1, math.Nextafter(1, 2), 0, false},   // one ulp apart fails tol 0
+		{1, 1 + 1e-13, 1e-12, true},           // relative criterion near 1
+		{1e9, 1e9 * (1 + 1e-13), 1e-12, true}, // relative criterion at large scale
+		{1e9, 1e9 + 1, 1e-12, false},
+		{0, 1e-13, 1e-12, true}, // absolute floor: max(1, ...) scale
+		{0, 1e-11, 1e-12, false},
+		{math.NaN(), math.NaN(), 1, false}, // NaN equals nothing
+		{math.NaN(), 1, math.Inf(1), false},
+		{math.Inf(1), math.Inf(1), 0, true}, // identical infinities are exactly equal
+		{math.Inf(1), math.Inf(-1), 0, false},
+		{-2, 2, 1, false},
+		{-2, 2, 2.1, true},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEqual(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

@@ -18,21 +18,21 @@ func TestMatrixBasicOps(t *testing.T) {
 	want := [][]float64{{19, 22}, {43, 50}}
 	for i := 0; i < 2; i++ {
 		for j := 0; j < 2; j++ {
-			if c.At(i, j) != want[i][j] {
+			if !ApproxEqual(c.At(i, j), want[i][j], 0) {
 				t.Errorf("Mul(%d,%d) = %v, want %v", i, j, c.At(i, j), want[i][j])
 			}
 		}
 	}
 	tr := a.Transpose()
-	if tr.At(0, 1) != 3 || tr.At(1, 0) != 2 {
+	if !ApproxEqual(tr.At(0, 1), 3, 0) || !ApproxEqual(tr.At(1, 0), 2, 0) {
 		t.Errorf("Transpose wrong: %+v", tr)
 	}
 	v := a.MulVec([]float64{1, 1})
-	if v[0] != 3 || v[1] != 7 {
+	if !ApproxEqual(v[0], 3, 0) || !ApproxEqual(v[1], 7, 0) {
 		t.Errorf("MulVec = %v, want [3 7]", v)
 	}
 	sum := a.AddMatrix(b)
-	if sum.At(0, 0) != 6 || sum.At(1, 1) != 12 {
+	if !ApproxEqual(sum.At(0, 0), 6, 0) || !ApproxEqual(sum.At(1, 1), 12, 0) {
 		t.Errorf("AddMatrix wrong: %+v", sum)
 	}
 }
@@ -42,7 +42,7 @@ func TestIdentity(t *testing.T) {
 	a := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
 	p := id.Mul(a)
 	for i := range p.Data {
-		if p.Data[i] != a.Data[i] {
+		if !ApproxEqual(p.Data[i], a.Data[i], 0) {
 			t.Fatalf("I*A != A at %d", i)
 		}
 	}
@@ -161,7 +161,7 @@ func TestLeastSquaresRidgeRankDeficient(t *testing.T) {
 }
 
 func TestDotAndNorm(t *testing.T) {
-	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+	if !ApproxEqual(Dot([]float64{1, 2, 3}, []float64{4, 5, 6}), 32, 0) {
 		t.Error("Dot wrong")
 	}
 	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-15) {
@@ -183,7 +183,7 @@ func TestTransposeInvolution(t *testing.T) {
 			return false
 		}
 		for i := range a.Data {
-			if tt.Data[i] != a.Data[i] {
+			if !ApproxEqual(tt.Data[i], a.Data[i], 0) {
 				return false
 			}
 		}

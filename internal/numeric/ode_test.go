@@ -14,7 +14,7 @@ func TestRK4ExponentialDecay(t *testing.T) {
 	if math.Abs(got-want) > 1e-9 {
 		t.Errorf("x(1) = %v, want %v", got, want)
 	}
-	if ts[len(ts)-1] != 1 {
+	if !ApproxEqual(ts[len(ts)-1], 1, 0) {
 		t.Errorf("final time %v, want 1", ts[len(ts)-1])
 	}
 }

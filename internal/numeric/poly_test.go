@@ -8,10 +8,10 @@ import (
 
 func TestPolyEval(t *testing.T) {
 	p := Polynomial{1, 2, 3} // 1 + 2x + 3x^2
-	if p.Eval(0) != 1 {
+	if !ApproxEqual(p.Eval(0), 1, 0) {
 		t.Error("Eval(0)")
 	}
-	if p.Eval(2) != 17 {
+	if !ApproxEqual(p.Eval(2), 17, 0) {
 		t.Errorf("Eval(2) = %v, want 17", p.Eval(2))
 	}
 }
@@ -19,7 +19,7 @@ func TestPolyEval(t *testing.T) {
 func TestPolyDerivative(t *testing.T) {
 	p := Polynomial{5, 3, 2} // 5 + 3x + 2x^2 -> 3 + 4x
 	d := p.Derivative()
-	if len(d) != 2 || d[0] != 3 || d[1] != 4 {
+	if len(d) != 2 || !ApproxEqual(d[0], 3, 0) || !ApproxEqual(d[1], 4, 0) {
 		t.Errorf("Derivative = %v", d)
 	}
 	if len(Polynomial{7}.Derivative()) != 1 {

@@ -67,6 +67,7 @@ func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
 			return b, nil
 		}
 		var s float64
+		//lint:ignore floatcmp exact guard: equal ordinates would divide by zero in the inverse quadratic interpolation
 		if fa != fc && fb != fc {
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +

@@ -14,20 +14,20 @@ func TestSparseMulVec(t *testing.T) {
 	m.AddSym(0, 1, -1)
 	dst := make([]float64, 2)
 	m.MulVec([]float64{1, 1}, dst)
-	if dst[0] != 2 || dst[1] != 1 {
+	if !ApproxEqual(dst[0], 2, 0) || !ApproxEqual(dst[1], 1, 0) {
 		t.Errorf("MulVec = %v, want [2 1]", dst)
 	}
 	// AddSym on the diagonal folds into diag.
 	m2 := NewSparseMatrix(1)
 	m2.AddSym(0, 0, 5)
 	m2.MulVec([]float64{2}, dst[:1])
-	if dst[0] != 10 {
+	if !ApproxEqual(dst[0], 10, 0) {
 		t.Errorf("diagonal AddSym wrong: %v", dst[0])
 	}
 	// Accumulation onto an existing off-diagonal entry.
 	m.AddSym(0, 1, -0.5)
 	m.MulVec([]float64{0, 1}, dst)
-	if dst[0] != -1.5 {
+	if !ApproxEqual(dst[0], -1.5, 0) {
 		t.Errorf("accumulated off-diagonal wrong: %v", dst[0])
 	}
 }

@@ -9,13 +9,13 @@ import (
 
 func TestSummarizeKnown(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3, 4, 5})
-	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+	if s.N != 5 || !ApproxEqual(s.Min, 1, 0) || !ApproxEqual(s.Max, 5, 0) {
 		t.Errorf("basic fields wrong: %+v", s)
 	}
-	if s.Mean != 3 || s.Median != 3 {
+	if !ApproxEqual(s.Mean, 3, 0) || !ApproxEqual(s.Median, 3, 0) {
 		t.Errorf("mean/median wrong: %+v", s)
 	}
-	if s.Q1 != 2 || s.Q3 != 4 {
+	if !ApproxEqual(s.Q1, 2, 0) || !ApproxEqual(s.Q3, 4, 0) {
 		t.Errorf("quartiles wrong: %+v", s)
 	}
 	if math.Abs(s.Std-math.Sqrt(2)) > 1e-12 {
@@ -32,20 +32,20 @@ func TestSummarizeEmpty(t *testing.T) {
 
 func TestQuantileEdges(t *testing.T) {
 	xs := []float64{3, 1, 2}
-	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 {
+	if !ApproxEqual(Quantile(xs, 0), 1, 0) || !ApproxEqual(Quantile(xs, 1), 3, 0) {
 		t.Error("quantile edge cases wrong")
 	}
-	if Quantile(xs, 0.5) != 2 {
+	if !ApproxEqual(Quantile(xs, 0.5), 2, 0) {
 		t.Error("median wrong")
 	}
-	if Quantile([]float64{7}, 0.3) != 7 {
+	if !ApproxEqual(Quantile([]float64{7}, 0.3), 7, 0) {
 		t.Error("single-element quantile wrong")
 	}
 }
 
 func TestPeakToPeakAndRMS(t *testing.T) {
 	xs := []float64{-1, 0, 3}
-	if PeakToPeak(xs) != 4 {
+	if !ApproxEqual(PeakToPeak(xs), 4, 0) {
 		t.Error("PeakToPeak wrong")
 	}
 	if math.Abs(RMS([]float64{3, 4})-math.Sqrt(12.5)) > 1e-12 {
@@ -57,7 +57,7 @@ func TestPeakToPeakAndRMS(t *testing.T) {
 }
 
 func TestClamp(t *testing.T) {
-	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+	if !ApproxEqual(Clamp(5, 0, 1), 1, 0) || !ApproxEqual(Clamp(-5, 0, 1), 0, 0) || !ApproxEqual(Clamp(0.5, 0, 1), 0.5, 0) {
 		t.Error("Clamp wrong")
 	}
 }

@@ -241,6 +241,9 @@ func (n *Network) Transient(vSrc float64, iLoad func(t float64) float64, dt, T f
 		sys.Step(x, u0, u1)
 		readout(t1)
 	}
+	if err := numeric.AllFinite("pdn: transient voltage", vs...); err != nil {
+		return nil, nil, err
+	}
 	return ts, vs, nil
 }
 

@@ -3,6 +3,8 @@ package pdn
 import (
 	"math"
 	"testing"
+
+	"ivory/internal/numeric"
 )
 
 func typical(t *testing.T) *Network {
@@ -36,7 +38,7 @@ func TestStagesCopied(t *testing.T) {
 	n := typical(t)
 	s := n.Stages()
 	s[0].R = 999
-	if n.Stages()[0].R == 999 {
+	if numeric.ApproxEqual(n.Stages()[0].R, 999, 0) {
 		t.Error("Stages must return a copy")
 	}
 }

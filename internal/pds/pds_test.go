@@ -9,6 +9,8 @@ import (
 	"ivory/internal/tech"
 	"ivory/internal/topology"
 	"ivory/internal/workload"
+
+	"ivory/internal/numeric"
 )
 
 func testSystem(t *testing.T) *System {
@@ -161,7 +163,7 @@ func TestPowerBreakdownOffChip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b.PCoreUseful != 20 {
+	if !numeric.ApproxEqual(b.PCoreUseful, 20, 0) {
 		t.Errorf("useful power %v, want 20", b.PCoreUseful)
 	}
 	if b.PMargin <= 0 || b.PVRMLoss <= 0 || b.PPDNIR <= 0 || b.PGridIR <= 0 {
@@ -234,7 +236,7 @@ func TestCalibrateGridFromMesh(t *testing.T) {
 	if s.GridR <= 0 {
 		t.Fatal("calibrated grid resistance must be positive")
 	}
-	if s.GridR == old {
+	if numeric.ApproxEqual(s.GridR, old, 0) {
 		t.Error("calibration should change the hand-set value")
 	}
 	if err := s.CalibrateGridFromMesh(nil); err == nil {

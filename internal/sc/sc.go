@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"ivory/internal/ivr"
+	"ivory/internal/numeric"
 	"ivory/internal/tech"
 	"ivory/internal/topology"
 )
@@ -178,6 +179,12 @@ func New(cfg Config) (*Design, error) {
 		// Stack of s devices in series: total R = s * RonW/W.
 		d.widths[i] = float64(stacks[i]) * devs[i].ROnWidth * d.gShare[i]
 	}
+	if err := numeric.AllFinite("sc: capacitor allocation", d.capC...); err != nil {
+		return nil, err
+	}
+	if err := numeric.AllFinite("sc: switch widths", d.widths...); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
 
@@ -281,6 +288,9 @@ func (d *Design) RegulationFrequency(iLoad float64) (float64, error) {
 	if fsw < cfg.FSwMin {
 		fsw = cfg.FSwMin
 	}
+	if err := numeric.Finite("sc: regulation f_sw", fsw); err != nil {
+		return 0, err
+	}
 	return fsw, nil
 }
 
@@ -341,7 +351,7 @@ func (d *Design) EvaluateAt(iLoad, fsw float64) (ivr.Metrics, error) {
 	}
 
 	// Controller, comparator, and clocking.
-	eg := cfg.Node.LogicEnergyPerGate
+	eg := cfg.Node.LogicEnergyPerGateJ
 	loss.Control = ctrlStaticW + fsw*eg*float64(ctrlGates+clockGates*cfg.Interleave)
 
 	pOut := vOut * iLoad
@@ -360,6 +370,9 @@ func (d *Design) EvaluateAt(iLoad, fsw float64) (ivr.Metrics, error) {
 		RippleVpp:  d.Ripple(iLoad, fsw),
 		FSw:        fsw,
 		AreaDie:    d.Area(),
+	}
+	if err := m.Finite(); err != nil {
+		return ivr.Metrics{}, err
 	}
 	return m, nil
 }
@@ -405,7 +418,7 @@ func (d *Design) Area() float64 {
 		a += float64(d.stacks[i]) * d.devs[i].Area(d.widths[i])
 	}
 	// Controller macro: gate count at 40 F^2 per gate equivalent.
-	f := d.cfg.Node.Feature
+	f := d.cfg.Node.FeatureM
 	a += float64(ctrlGates+clockGates*d.cfg.Interleave) * 40 * f * f * 25
 	return a * routingTax
 }
@@ -424,8 +437,8 @@ func (d *Design) SwitchArea() float64 {
 // given switch area (m²) for this design's topology and voltage mapping.
 // Conductance shares follow the optimal |a_r| split, so area relates to
 // G_total through the multiplier-weighted stack costs.
-func GTotalForSwitchArea(an *topology.Analysis, node *tech.Node, vin, area float64) (float64, error) {
-	if area <= 0 {
+func GTotalForSwitchArea(an *topology.Analysis, node *tech.Node, vin, areaM2 float64) (float64, error) {
+	if areaM2 <= 0 {
 		return 0, fmt.Errorf("sc: switch area must be positive")
 	}
 	devs, stacks, weights, err := switchPlan(an, node, vin, false)
@@ -440,7 +453,11 @@ func GTotalForSwitchArea(an *topology.Analysis, node *tech.Node, vin, area float
 	if denom <= 0 {
 		return 0, fmt.Errorf("sc: degenerate switch multipliers")
 	}
-	return area / denom, nil
+	gTotal := areaM2 / denom
+	if err := numeric.Finite("sc: G_total for switch area", gTotal); err != nil {
+		return 0, err
+	}
+	return gTotal, nil
 }
 
 // EfficiencyCurve sweeps the open-loop output voltage from vLo to vHi (by

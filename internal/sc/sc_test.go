@@ -8,6 +8,8 @@ import (
 	"ivory/internal/ivr"
 	"ivory/internal/tech"
 	"ivory/internal/topology"
+
+	"ivory/internal/numeric"
 )
 
 func mustAnalysis(t *testing.T, top *topology.Topology, err error) *topology.Analysis {
@@ -45,7 +47,7 @@ func TestNewDefaultsAndValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := d.Config()
-	if got.Duty != 0.5 || got.Interleave != 1 || got.FSwMax != defaultFSwMax || got.FSwMin != defaultFSwMin {
+	if !numeric.ApproxEqual(got.Duty, 0.5, 0) || got.Interleave != 1 || !numeric.ApproxEqual(got.FSwMax, defaultFSwMax, 0) || !numeric.ApproxEqual(got.FSwMin, defaultFSwMin, 0) {
 		t.Errorf("defaults not applied: %+v", got)
 	}
 
@@ -149,7 +151,7 @@ func TestRegulationFrequencyConsistency(t *testing.T) {
 	}
 	// Zero load settles at the floor.
 	f0, err := d.RegulationFrequency(0)
-	if err != nil || f0 != d.Config().FSwMin {
+	if err != nil || !numeric.ApproxEqual(f0, d.Config().FSwMin, 0) {
 		t.Errorf("zero-load frequency: %v, %v", f0, err)
 	}
 }
@@ -338,7 +340,7 @@ func TestHigherCapDensityHelpsEfficiency(t *testing.T) {
 	area := mos.Area(cfg.CTotal)
 	cfgTrench := cfg
 	cfgTrench.CapKind = tech.DeepTrench
-	cfgTrench.CTotal = dt.Density * area
+	cfgTrench.CTotal = dt.DensityFPerM2 * area
 	dMOS, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

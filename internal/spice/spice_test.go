@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"ivory/internal/numeric"
 )
 
 func TestResistorDividerDC(t *testing.T) {
@@ -143,11 +145,11 @@ func TestSwitchToggling(t *testing.T) {
 
 func TestPWLAndPulseWaveforms(t *testing.T) {
 	p := PWL([]float64{0, 1, 2}, []float64{0, 10, 0})
-	if p(0.5) != 5 || p(1.5) != 5 || p(3) != 0 {
+	if !numeric.ApproxEqual(p(0.5), 5, 0) || !numeric.ApproxEqual(p(1.5), 5, 0) || !numeric.ApproxEqual(p(3), 0, 0) {
 		t.Error("PWL wrong")
 	}
 	q := Pulse(0, 1, 1e-6, 0.25)
-	if q(0.1e-6) != 1 || q(0.5e-6) != 0 {
+	if !numeric.ApproxEqual(q(0.1e-6), 1, 0) || !numeric.ApproxEqual(q(0.5e-6), 0, 0) {
 		t.Error("Pulse wrong")
 	}
 }

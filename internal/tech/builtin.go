@@ -79,7 +79,7 @@ func (s nodeSpec) build() *Node {
 	caps := map[CapacitorKind]CapacitorOption{
 		MOSCap: {
 			Kind:             MOSCap,
-			Density:          s.mosCap * nFmm2,
+			DensityFPerM2:    s.mosCap * nFmm2,
 			BottomPlateRatio: 0.05,
 			LeakPerFarad:     30e-3 * (s.leakW / 2.5), // scales with node leakiness
 			ESROhmFarad:      0.4e-12,                 // 0.4 ohm for 1 pF, scaling 1/C
@@ -87,7 +87,7 @@ func (s nodeSpec) build() *Node {
 		},
 		MIMCap: {
 			Kind:             MIMCap,
-			Density:          s.mim * nFmm2,
+			DensityFPerM2:    s.mim * nFmm2,
 			BottomPlateRatio: 0.01,
 			LeakPerFarad:     1e-6,
 			ESROhmFarad:      0.2e-12,
@@ -97,7 +97,7 @@ func (s nodeSpec) build() *Node {
 	if s.trench > 0 {
 		caps[DeepTrench] = CapacitorOption{
 			Kind:             DeepTrench,
-			Density:          s.trench * nFmm2,
+			DensityFPerM2:    s.trench * nFmm2,
 			BottomPlateRatio: 0.006,
 			LeakPerFarad:     0.5e-3,
 			ESROhmFarad:      0.8e-12,
@@ -107,7 +107,7 @@ func (s nodeSpec) build() *Node {
 	inductors := map[InductorKind]InductorOption{
 		SurfaceMount: {
 			Kind:        SurfaceMount,
-			FixedArea:   9e-6, // 3x3 mm board footprint per part
+			FixedAreaM2: 9e-6, // 3x3 mm board footprint per part
 			DCRPerHenry: 1e4,  // 10 mohm per uH class
 			// Discrete ferrite parts hold inductance well below ~10 MHz and
 			// roll off beyond; coefficient vs f in GHz.
@@ -116,9 +116,9 @@ func (s nodeSpec) build() *Node {
 			IMax:       30,
 		},
 		IntegratedThinFilm: {
-			Kind:        IntegratedThinFilm,
-			Density:     s.lInt * nHmm2,
-			DCRPerHenry: 5e7, // 50 mohm per nH class
+			Kind:          IntegratedThinFilm,
+			DensityHPerM2: s.lInt * nHmm2,
+			DCRPerHenry:   5e7, // 50 mohm per nH class
 			// Magnetic thin-film inductors lose permeability with frequency;
 			// polynomial fit of published L(f) curves (f in GHz).
 			LFreqCoeff: numeric.Polynomial{1.0, -0.28, 0.03},
@@ -127,14 +127,14 @@ func (s nodeSpec) build() *Node {
 		},
 	}
 	return &Node{
-		Name:               s.name,
-		Feature:            s.feature * 1e-9,
-		VddNominal:         s.vdd,
-		Switches:           map[DeviceClass]SwitchDevice{CoreDevice: core, IODevice: io},
-		Capacitors:         caps,
-		Inductors:          inductors,
-		GridSheetOhm:       s.grid,
-		LogicEnergyPerGate: s.eGate * fJ,
+		Name:                s.name,
+		FeatureM:            s.feature * 1e-9,
+		VddNominal:          s.vdd,
+		Switches:            map[DeviceClass]SwitchDevice{CoreDevice: core, IODevice: io},
+		Capacitors:          caps,
+		Inductors:           inductors,
+		GridSheetOhm:        s.grid,
+		LogicEnergyPerGateJ: s.eGate * fJ,
 	}
 }
 

@@ -23,7 +23,7 @@ type jsonSwitch struct {
 }
 
 type jsonCap struct {
-	Density          float64 `json:"density_f_per_m2"`
+	DensityFPerM2    float64 `json:"density_f_per_m2"`
 	BottomPlateRatio float64 `json:"bottom_plate_ratio"`
 	LeakPerFarad     float64 `json:"leak_a_per_f"`
 	ESROhmFarad      float64 `json:"esr_ohm_farad"`
@@ -31,23 +31,23 @@ type jsonCap struct {
 }
 
 type jsonInd struct {
-	Density     float64   `json:"density_h_per_m2"`
-	FixedArea   float64   `json:"fixed_area_m2"`
-	DCRPerHenry float64   `json:"dcr_per_henry"`
-	LFreqCoeff  []float64 `json:"l_freq_coeff_per_ghz"`
-	FSkin       float64   `json:"f_skin_hz"`
-	IMax        float64   `json:"i_max_a"`
+	DensityHPerM2 float64   `json:"density_h_per_m2"`
+	FixedAreaM2   float64   `json:"fixed_area_m2"`
+	DCRPerHenry   float64   `json:"dcr_per_henry"`
+	LFreqCoeff    []float64 `json:"l_freq_coeff_per_ghz"`
+	FSkin         float64   `json:"f_skin_hz"`
+	IMax          float64   `json:"i_max_a"`
 }
 
 type jsonNode struct {
-	Name               string                `json:"name"`
-	FeatureM           float64               `json:"feature_m"`
-	VddNominal         float64               `json:"vdd_nominal"`
-	GridSheetOhm       float64               `json:"grid_sheet_ohm"`
-	LogicEnergyPerGate float64               `json:"logic_energy_per_gate_j"`
-	Switches           map[string]jsonSwitch `json:"switches"`
-	Capacitors         map[string]jsonCap    `json:"capacitors"`
-	Inductors          map[string]jsonInd    `json:"inductors"`
+	Name                string                `json:"name"`
+	FeatureM            float64               `json:"feature_m"`
+	VddNominal          float64               `json:"vdd_nominal"`
+	GridSheetOhm        float64               `json:"grid_sheet_ohm"`
+	LogicEnergyPerGateJ float64               `json:"logic_energy_per_gate_j"`
+	Switches            map[string]jsonSwitch `json:"switches"`
+	Capacitors          map[string]jsonCap    `json:"capacitors"`
+	Inductors           map[string]jsonInd    `json:"inductors"`
 }
 
 var switchClassNames = map[string]DeviceClass{
@@ -70,14 +70,14 @@ var indKindNames = map[string]InductorKind{
 // for user-defined technology nodes.
 func (n *Node) WriteJSON(w io.Writer) error {
 	jn := jsonNode{
-		Name:               n.Name,
-		FeatureM:           n.Feature,
-		VddNominal:         n.VddNominal,
-		GridSheetOhm:       n.GridSheetOhm,
-		LogicEnergyPerGate: n.LogicEnergyPerGate,
-		Switches:           map[string]jsonSwitch{},
-		Capacitors:         map[string]jsonCap{},
-		Inductors:          map[string]jsonInd{},
+		Name:                n.Name,
+		FeatureM:            n.FeatureM,
+		VddNominal:          n.VddNominal,
+		GridSheetOhm:        n.GridSheetOhm,
+		LogicEnergyPerGateJ: n.LogicEnergyPerGateJ,
+		Switches:            map[string]jsonSwitch{},
+		Capacitors:          map[string]jsonCap{},
+		Inductors:           map[string]jsonInd{},
 	}
 	for name, class := range switchClassNames {
 		if s, ok := n.Switches[class]; ok {
@@ -91,7 +91,7 @@ func (n *Node) WriteJSON(w io.Writer) error {
 	for name, kind := range capKindNames {
 		if c, ok := n.Capacitors[kind]; ok {
 			jn.Capacitors[name] = jsonCap{
-				Density: c.Density, BottomPlateRatio: c.BottomPlateRatio,
+				DensityFPerM2: c.DensityFPerM2, BottomPlateRatio: c.BottomPlateRatio,
 				LeakPerFarad: c.LeakPerFarad, ESROhmFarad: c.ESROhmFarad, VMax: c.VMax,
 			}
 		}
@@ -99,7 +99,7 @@ func (n *Node) WriteJSON(w io.Writer) error {
 	for name, kind := range indKindNames {
 		if l, ok := n.Inductors[kind]; ok {
 			jn.Inductors[name] = jsonInd{
-				Density: l.Density, FixedArea: l.FixedArea, DCRPerHenry: l.DCRPerHenry,
+				DensityHPerM2: l.DensityHPerM2, FixedAreaM2: l.FixedAreaM2, DCRPerHenry: l.DCRPerHenry,
 				LFreqCoeff: l.LFreqCoeff, FSkin: l.FSkin, IMax: l.IMax,
 			}
 		}
@@ -126,14 +126,14 @@ func LoadJSON(r io.Reader) (*Node, error) {
 		return nil, fmt.Errorf("tech: node %q needs positive feature_m and vdd_nominal", jn.Name)
 	}
 	n := &Node{
-		Name:               jn.Name,
-		Feature:            jn.FeatureM,
-		VddNominal:         jn.VddNominal,
-		GridSheetOhm:       jn.GridSheetOhm,
-		LogicEnergyPerGate: jn.LogicEnergyPerGate,
-		Switches:           map[DeviceClass]SwitchDevice{},
-		Capacitors:         map[CapacitorKind]CapacitorOption{},
-		Inductors:          map[InductorKind]InductorOption{},
+		Name:                jn.Name,
+		FeatureM:            jn.FeatureM,
+		VddNominal:          jn.VddNominal,
+		GridSheetOhm:        jn.GridSheetOhm,
+		LogicEnergyPerGateJ: jn.LogicEnergyPerGateJ,
+		Switches:            map[DeviceClass]SwitchDevice{},
+		Capacitors:          map[CapacitorKind]CapacitorOption{},
+		Inductors:           map[InductorKind]InductorOption{},
 	}
 	for name, js := range jn.Switches {
 		class, ok := switchClassNames[name]
@@ -161,11 +161,11 @@ func LoadJSON(r io.Reader) (*Node, error) {
 		if !ok {
 			return nil, fmt.Errorf("tech: unknown capacitor kind %q (use mos/mim/deep-trench)", name)
 		}
-		if jc.Density <= 0 {
+		if jc.DensityFPerM2 <= 0 {
 			return nil, fmt.Errorf("tech: capacitor %q needs positive density", name)
 		}
 		n.Capacitors[kind] = CapacitorOption{
-			Kind: kind, Density: jc.Density, BottomPlateRatio: jc.BottomPlateRatio,
+			Kind: kind, DensityFPerM2: jc.DensityFPerM2, BottomPlateRatio: jc.BottomPlateRatio,
 			LeakPerFarad: jc.LeakPerFarad, ESROhmFarad: jc.ESROhmFarad, VMax: jc.VMax,
 		}
 	}
@@ -175,7 +175,7 @@ func LoadJSON(r io.Reader) (*Node, error) {
 			return nil, fmt.Errorf("tech: unknown inductor kind %q (use surface-mount/integrated-thin-film)", name)
 		}
 		n.Inductors[kind] = InductorOption{
-			Kind: kind, Density: jl.Density, FixedArea: jl.FixedArea,
+			Kind: kind, DensityHPerM2: jl.DensityHPerM2, FixedAreaM2: jl.FixedAreaM2,
 			DCRPerHenry: jl.DCRPerHenry, LFreqCoeff: numeric.Polynomial(jl.LFreqCoeff),
 			FSkin: jl.FSkin, IMax: jl.IMax,
 		}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"ivory/internal/numeric"
 )
 
 func TestJSONRoundTrip(t *testing.T) {
@@ -17,7 +19,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Name != orig.Name || loaded.VddNominal != orig.VddNominal {
+	if loaded.Name != orig.Name || !numeric.ApproxEqual(loaded.VddNominal, orig.VddNominal, 0) {
 		t.Errorf("basic fields lost: %+v", loaded)
 	}
 	for class, s := range orig.Switches {
@@ -25,7 +27,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		if !ok {
 			t.Fatalf("switch class %v lost", class)
 		}
-		if ls.ROnWidth != s.ROnWidth || ls.VMax != s.VMax || ls.VDrive != s.VDrive {
+		if !numeric.ApproxEqual(ls.ROnWidth, s.ROnWidth, 0) || !numeric.ApproxEqual(ls.VMax, s.VMax, 0) || !numeric.ApproxEqual(ls.VDrive, s.VDrive, 0) {
 			t.Errorf("switch %v fields differ: %+v vs %+v", class, ls, s)
 		}
 	}
@@ -34,7 +36,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		if !ok {
 			t.Fatalf("capacitor %v lost", kind)
 		}
-		if math.Abs(lc.Density-c.Density) > 1e-18 {
+		if math.Abs(lc.DensityFPerM2-c.DensityFPerM2) > 1e-18 {
 			t.Errorf("capacitor %v density differs", kind)
 		}
 	}
@@ -67,7 +69,7 @@ func TestLoadJSONMinimal(t *testing.T) {
 	}
 	sw := n.Switches[CoreDevice]
 	// VDrive defaults to VMax when omitted.
-	if sw.VDrive != 1.1 {
+	if !numeric.ApproxEqual(sw.VDrive, 1.1, 0) {
 		t.Errorf("VDrive default = %v", sw.VDrive)
 	}
 	// Not registered until AddNode.

@@ -146,8 +146,8 @@ func (s SwitchDevice) WidthForROn(r float64) float64 {
 // CapacitorOption describes an on-chip capacitor flavour.
 type CapacitorOption struct {
 	Kind CapacitorKind
-	// Density is capacitance per area (F/m²).
-	Density float64
+	// DensityFPerM2 is capacitance per area (F/m²).
+	DensityFPerM2 float64
 	// BottomPlateRatio is the parasitic bottom-plate capacitance as a
 	// fraction of the main capacitance (dimensionless).
 	BottomPlateRatio float64
@@ -162,10 +162,10 @@ type CapacitorOption struct {
 
 // Area returns the die area (m²) required for capacitance c (F).
 func (c CapacitorOption) Area(cap float64) float64 {
-	if c.Density <= 0 {
+	if c.DensityFPerM2 <= 0 {
 		return 0
 	}
-	return cap / c.Density
+	return cap / c.DensityFPerM2
 }
 
 // ESR returns the effective series resistance (ohm) of a capacitor of value
@@ -180,11 +180,11 @@ func (c CapacitorOption) ESR(cap float64) float64 {
 // InductorOption describes an inductor implementation.
 type InductorOption struct {
 	Kind InductorKind
-	// Density is inductance per area (H/m²). Zero for surface-mount parts,
-	// whose area is board area tracked separately via FixedArea.
-	Density float64
-	// FixedArea is the board/package footprint (m²) for discrete parts.
-	FixedArea float64
+	// DensityHPerM2 is inductance per area (H/m²). Zero for surface-mount parts,
+	// whose area is board area tracked separately via FixedAreaM2.
+	DensityHPerM2 float64
+	// FixedAreaM2 is the board/package footprint (m²) for discrete parts.
+	FixedAreaM2 float64
 	// DCRPerHenry is series resistance per henry (ohm/H).
 	DCRPerHenry float64
 	// LFreqCoeff is the polynomial-fitted frequency-dependent inductance
@@ -225,18 +225,18 @@ func (l InductorOption) Resistance(l0, f float64) float64 {
 // Area returns the die area (m²) of an integrated inductor of value l0 (H),
 // or the fixed footprint for discrete parts.
 func (l InductorOption) Area(l0 float64) float64 {
-	if l.Density > 0 {
-		return l0 / l.Density
+	if l.DensityHPerM2 > 0 {
+		return l0 / l.DensityHPerM2
 	}
-	return l.FixedArea
+	return l.FixedAreaM2
 }
 
 // Node is one technology-node entry of the database.
 type Node struct {
 	// Name is the lookup key, e.g. "45nm".
 	Name string
-	// Feature is the drawn feature size (m).
-	Feature float64
+	// FeatureM is the drawn feature size (m).
+	FeatureM float64
 	// VddNominal is the nominal core supply (V).
 	VddNominal float64
 	// Switches holds the available power-switch device classes.
@@ -247,9 +247,9 @@ type Node struct {
 	Inductors map[InductorKind]InductorOption
 	// GridSheetOhm is the on-chip power-grid sheet resistance (ohm/square).
 	GridSheetOhm float64
-	// LogicEnergyPerGate is switching energy per gate-width-unit, used to
+	// LogicEnergyPerGateJ is switching energy per gate-width-unit, used to
 	// size controller overhead (J per transition at VddNominal).
-	LogicEnergyPerGate float64
+	LogicEnergyPerGateJ float64
 }
 
 // Switch returns the switch device of the given class.

@@ -16,7 +16,7 @@ func TestLookupBuiltinNodes(t *testing.T) {
 		if n.Name != name {
 			t.Errorf("node name %s != %s", n.Name, name)
 		}
-		if n.VddNominal <= 0 || n.Feature <= 0 {
+		if n.VddNominal <= 0 || n.FeatureM <= 0 {
 			t.Errorf("%s: non-positive basic fields: %+v", name, n)
 		}
 	}
@@ -52,7 +52,7 @@ func TestScalingTrends(t *testing.T) {
 		}
 		om := older.Capacitors[MOSCap]
 		nm := newer.Capacitors[MOSCap]
-		if nm.Density <= om.Density {
+		if nm.DensityFPerM2 <= om.DensityFPerM2 {
 			t.Errorf("MOS cap density should grow %s -> %s", names[i-1], names[i])
 		}
 		if newer.VddNominal > older.VddNominal {
@@ -128,7 +128,7 @@ func TestCapacitorOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if trench.Density <= mos.Density {
+	if trench.DensityFPerM2 <= mos.DensityFPerM2 {
 		t.Error("deep trench must be denser than MOS cap")
 	}
 	if trench.BottomPlateRatio >= mos.BottomPlateRatio {
@@ -177,7 +177,7 @@ func TestInductorFrequencyRollOff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sm.Area(1e-6) != sm.FixedArea {
+	if !numeric.ApproxEqual(sm.Area(1e-6), sm.FixedAreaM2, 0) {
 		t.Error("surface-mount area should be the fixed footprint")
 	}
 }
@@ -194,7 +194,7 @@ func TestAddNodeValidation(t *testing.T) {
 	}
 	custom := &Node{
 		Name:       "custom-28nm",
-		Feature:    28e-9,
+		FeatureM:   28e-9,
 		VddNominal: 0.95,
 		Switches: map[DeviceClass]SwitchDevice{
 			CoreDevice: {Class: CoreDevice, ROnWidth: 1e-3, CGatePerWidth: 1e-9, VMax: 1.1, AreaPerWidth: 1e-6},
@@ -206,7 +206,7 @@ func TestAddNodeValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, err := Lookup("custom-28nm")
-	if err != nil || got.VddNominal != 0.95 {
+	if err != nil || !numeric.ApproxEqual(got.VddNominal, 0.95, 0) {
 		t.Errorf("custom node roundtrip failed: %v %v", got, err)
 	}
 }
@@ -225,11 +225,11 @@ func TestNodesSorted(t *testing.T) {
 
 func TestLEffWithEmptyPolynomial(t *testing.T) {
 	ind := InductorOption{LFreqCoeff: nil}
-	if ind.LEff(5e-9, 1e9) != 5e-9 {
+	if !numeric.ApproxEqual(ind.LEff(5e-9, 1e9), 5e-9, 0) {
 		t.Error("empty polynomial should mean frequency-independent L")
 	}
 	ind2 := InductorOption{LFreqCoeff: numeric.Polynomial{1}}
-	if ind2.LEff(5e-9, 1e9) != 5e-9 {
+	if !numeric.ApproxEqual(ind2.LEff(5e-9, 1e9), 5e-9, 0) {
 		t.Error("unit polynomial should leave L unchanged")
 	}
 }

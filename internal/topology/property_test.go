@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"ivory/internal/numeric"
 )
 
 // Property: any valid ladder (p, q) yields ratio q/p, conserves power
@@ -48,11 +50,11 @@ func TestAnalyzeDeterministic(t *testing.T) {
 		if err1 != nil || err2 != nil {
 			return false
 		}
-		if a1.Ratio != a2.Ratio || a1.SumAC != a2.SumAC || a1.SumAR != a2.SumAR {
+		if !numeric.ApproxEqual(a1.Ratio, a2.Ratio, 0) || !numeric.ApproxEqual(a1.SumAC, a2.SumAC, 0) || !numeric.ApproxEqual(a1.SumAR, a2.SumAR, 0) {
 			return false
 		}
 		for i := range a1.CapMultipliers {
-			if a1.CapMultipliers[i] != a2.CapMultipliers[i] {
+			if !numeric.ApproxEqual(a1.CapMultipliers[i], a2.CapMultipliers[i], 0) {
 				return false
 			}
 		}

@@ -31,14 +31,14 @@ func TestPowerTraceDeterministic(t *testing.T) {
 	a := b.PowerTrace(5, 1e-8, 2000, 42)
 	c := b.PowerTrace(5, 1e-8, 2000, 42)
 	for i := range a {
-		if a[i] != c[i] {
+		if !numeric.ApproxEqual(a[i], c[i], 0) {
 			t.Fatal("same seed must reproduce the trace")
 		}
 	}
 	d := b.PowerTrace(5, 1e-8, 2000, 43)
 	same := true
 	for i := range a {
-		if a[i] != d[i] {
+		if !numeric.ApproxEqual(a[i], d[i], 0) {
 			same = false
 			break
 		}

@@ -3,6 +3,8 @@ package ivory
 import (
 	"math"
 	"testing"
+
+	"ivory/internal/numeric"
 )
 
 // The façade re-exports everything a downstream user needs; exercise the
@@ -223,7 +225,7 @@ func TestPublicPDSComposition(t *testing.T) {
 
 func TestCaseStudySpecShape(t *testing.T) {
 	s := CaseStudySpec("45nm")
-	if s.VIn != 3.3 || s.VOut != 1.0 || s.AreaMax != 20e-6 {
+	if !numeric.ApproxEqual(s.VIn, 3.3, 0) || !numeric.ApproxEqual(s.VOut, 1.0, 0) || !numeric.ApproxEqual(s.AreaMax, 20e-6, 0) {
 		t.Errorf("case study spec wrong: %+v", s)
 	}
 }
