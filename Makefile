@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench experiments examples clean
+.PHONY: all build test vet lint race bench bench-full experiments examples clean
 
 all: build vet lint test
 
@@ -24,9 +24,15 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# Full benchmark sweep (one timed iteration per experiment is enough to
-# regenerate every figure; raise -benchtime for stable timings).
+# Benchmark smoke run over the root harness (Explore serial/parallel,
+# PlaceIVRs, per-figure regeneration) — one iteration each, machine-readable
+# output in BENCH_explore.json. Non-gating in CI.
 bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -json . | tee BENCH_explore.json
+
+# Full benchmark sweep over every package (raise -benchtime for stable
+# timings).
+bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper table/figure plus the extension studies, with

@@ -269,6 +269,48 @@ func BenchmarkExploreFullSpace(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreSerial/Parallel time the same full-space exploration with
+// one worker versus one per CPU. The outputs are bit-identical (enforced by
+// TestExploreDeterministicAcrossWorkers); only wall-clock differs.
+
+func BenchmarkExploreSerial(b *testing.B) {
+	spec := CaseStudySpec("45nm")
+	spec.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Explore(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExploreParallel(b *testing.B) {
+	spec := CaseStudySpec("45nm")
+	spec.Workers = 0 // one worker per CPU
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Explore(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaceIVRs times the greedy placement on the case-study mesh at
+// the hardest distribution count of the grid-scaling experiment.
+func BenchmarkPlaceIVRs(b *testing.B) {
+	m, err := NewGridMesh(24, 24, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cores := m.QuadCores()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PlaceIVRs(8, cores); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTopologyAnalyze(b *testing.B) {
 	top, err := Ladder(7, 3)
 	if err != nil {

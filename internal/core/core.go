@@ -20,6 +20,7 @@ import (
 	"ivory/internal/buck"
 	"ivory/internal/ivr"
 	"ivory/internal/ldo"
+	"ivory/internal/parallel"
 	"ivory/internal/sc"
 	"ivory/internal/tech"
 	"ivory/internal/topology"
@@ -98,6 +99,11 @@ type Spec struct {
 	Kinds []Kind
 	// FSwMax bounds switching frequency (default 1 GHz).
 	FSwMax float64
+	// Workers bounds the exploration worker pool: 0 uses one worker per
+	// CPU, 1 evaluates the space serially (the reference path). The ranked
+	// output is bit-identical for every worker count — candidates are
+	// merged in enumeration order before ranking.
+	Workers int
 }
 
 func (s *Spec) defaults() error {
@@ -132,6 +138,9 @@ func (s *Spec) defaults() error {
 	if len(s.Kinds) == 0 {
 		s.Kinds = []Kind{KindSC, KindBuck, KindLDO}
 	}
+	if s.Workers < 0 {
+		return fmt.Errorf("core: Spec.Workers must be >= 0 (got %d)", s.Workers)
+	}
 	return nil
 }
 
@@ -161,7 +170,23 @@ type Result struct {
 	Rejected int
 }
 
-// Explore runs the design optimization module over the full space.
+// shard accumulates the outcome of one independent slice of the
+// configuration space. Every worker writes only to its own shard; shards
+// merge in enumeration order, so the assembled candidate list is identical
+// to a serial sweep regardless of how the work was scheduled.
+type shard struct {
+	candidates []Candidate
+	rejected   int
+}
+
+// job evaluates one pre-validated configuration slice into its shard.
+type job func(*shard)
+
+// Explore runs the design optimization module over the full space: the
+// candidate configurations (kind x topology x cap kind x cap share x
+// allocation policy x phase count) are enumerated into a flat work list,
+// fanned out over a Spec.Workers-bounded pool, and merged deterministically
+// before ranking.
 func Explore(spec Spec) (*Result, error) {
 	if err := spec.defaults(); err != nil {
 		return nil, err
@@ -171,15 +196,28 @@ func Explore(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Spec: spec}
+	// Enumeration resolves the cheap shared context (topology analyses,
+	// device lookups) up front; failures there reject exactly as the
+	// nested serial loops did. The per-configuration sizing and evaluation
+	// — the dominant cost — lands in the job list.
+	var pre shard
+	var jobs []job
 	for _, k := range spec.Kinds {
 		switch k {
 		case KindSC:
-			res.exploreSC(spec, node)
+			jobs = append(jobs, enumerateSC(spec, node, &pre)...)
 		case KindBuck:
-			res.exploreBuck(spec, node)
+			jobs = append(jobs, enumerateBuck(spec, node, &pre)...)
 		case KindLDO:
-			res.exploreLDO(spec, node)
+			jobs = append(jobs, enumerateLDO(spec, node)...)
 		}
+	}
+	shards := make([]shard, len(jobs))
+	parallel.For(len(jobs), spec.Workers, func(i int) { jobs[i](&shards[i]) })
+	res.Rejected = pre.rejected
+	for i := range shards {
+		res.Candidates = append(res.Candidates, shards[i].candidates...)
+		res.Rejected += shards[i].rejected
 	}
 	if len(res.Candidates) == 0 {
 		return nil, ivr.Infeasible("design space",
@@ -222,12 +260,18 @@ func scRatios(spec Spec) []*topology.Topology {
 	return out
 }
 
-func (r *Result) exploreSC(spec Spec, node *tech.Node) {
+// enumerateSC expands the switched-capacitor slice of the space into one
+// job per (topology, capacitor kind, capacitor share); each job sizes and
+// evaluates both conductance-allocation policies. Topology analyses are
+// resolved here — memoized package-wide in topology — so workers share one
+// Analysis per ratio instead of re-deriving it.
+func enumerateSC(spec Spec, node *tech.Node, pre *shard) []job {
 	usable := 0.80 * spec.AreaMax // controller/routing reserve
+	var jobs []job
 	for _, top := range scRatios(spec) {
 		an, err := top.Analyze()
 		if err != nil {
-			r.Rejected++
+			pre.rejected++
 			continue
 		}
 		for _, capKind := range []tech.CapacitorKind{tech.DeepTrench, tech.MOSCap, tech.MIMCap} {
@@ -236,69 +280,90 @@ func (r *Result) exploreSC(spec Spec, node *tech.Node) {
 				continue
 			}
 			for _, capShare := range []float64{0.50, 0.70, 0.85, 0.93, 0.97} {
-				cTot := capOpt.DensityFPerM2 * usable * capShare * 0.9 // 10% to decap
-				cDecap := capOpt.DensityFPerM2 * usable * capShare * 0.1
-				gTot, err := sc.GTotalForSwitchArea(an, node, spec.VIn, usable*(1-capShare))
-				if err != nil {
-					r.Rejected++
-					continue
-				}
-				// Both conductance-allocation policies are candidates: the
-				// cost-aware split wins when gate drive dominates, the
-				// plain a_r split when the FSL budget is tight (it keeps
-				// C·f_sw — and bottom-plate loss — lower).
-				for _, uniform := range []bool{false, true} {
-					cfg := sc.Config{
-						Analysis: an, Node: node, CapKind: capKind,
-						VIn: spec.VIn, VOut: spec.VOut,
-						CTotal: cTot, GTotal: gTot, CDecap: cDecap,
-						FSwMax:                  spec.FSwMax,
-						UniformSwitchAllocation: uniform,
-					}
-					d, err := sc.New(cfg)
-					if err != nil {
-						r.Rejected++
-						continue
-					}
-					m, err := d.Evaluate(spec.IMax)
-					if err != nil {
-						r.Rejected++
-						continue
-					}
-					// Interleave to meet the ripple target, then re-evaluate.
-					if m.RippleVpp > spec.RippleMax {
-						n := int(math.Ceil(m.RippleVpp / spec.RippleMax))
-						if n > 64 {
-							n = 64
-						}
-						cfg.Interleave = n
-						if d2, err2 := sc.New(cfg); err2 == nil {
-							if m2, err2 := d2.Evaluate(spec.IMax); err2 == nil {
-								d, m = d2, m2
-							}
-						}
-					}
-					if m.AreaDie > spec.AreaMax {
-						r.Rejected++
-						continue
-					}
-					r.Candidates = append(r.Candidates, Candidate{
-						Kind:    KindSC,
-						Label:   fmt.Sprintf("%s / %v caps / x%d", an.Name, capKind, d.Config().Interleave),
-						Metrics: m,
-						SC:      d,
-					})
-				}
+				jobs = append(jobs, func(out *shard) {
+					evalSC(out, spec, node, an, capKind, capOpt, capShare, usable)
+				})
 			}
 		}
 	}
+	return jobs
 }
 
-func (r *Result) exploreBuck(spec Spec, node *tech.Node) {
+// evalSC sizes and evaluates the two allocation-policy candidates of one
+// (topology, cap kind, cap share) cell.
+func evalSC(out *shard, spec Spec, node *tech.Node, an *topology.Analysis,
+	capKind tech.CapacitorKind, capOpt tech.CapacitorOption, capShare, usable float64) {
+	cTot := capOpt.DensityFPerM2 * usable * capShare * 0.9 // 10% to decap
+	cDecap := capOpt.DensityFPerM2 * usable * capShare * 0.1
+	gTot, err := sc.GTotalForSwitchArea(an, node, spec.VIn, usable*(1-capShare))
+	if err != nil {
+		out.rejected++
+		return
+	}
+	// Both conductance-allocation policies are candidates: the
+	// cost-aware split wins when gate drive dominates, the
+	// plain a_r split when the FSL budget is tight (it keeps
+	// C·f_sw — and bottom-plate loss — lower).
+	for _, uniform := range []bool{false, true} {
+		cfg := sc.Config{
+			Analysis: an, Node: node, CapKind: capKind,
+			VIn: spec.VIn, VOut: spec.VOut,
+			CTotal: cTot, GTotal: gTot, CDecap: cDecap,
+			FSwMax:                  spec.FSwMax,
+			UniformSwitchAllocation: uniform,
+		}
+		d, err := sc.New(cfg)
+		if err != nil {
+			out.rejected++
+			continue
+		}
+		m, err := d.Evaluate(spec.IMax)
+		if err != nil {
+			out.rejected++
+			continue
+		}
+		// Interleave to meet the ripple target, then re-evaluate. A design
+		// whose interleaved re-evaluation fails is over the ripple target
+		// with no way to fix it — reject it rather than keep the
+		// single-phase version that already missed the spec.
+		if m.RippleVpp > spec.RippleMax {
+			n := int(math.Ceil(m.RippleVpp / spec.RippleMax))
+			if n > 64 {
+				n = 64
+			}
+			cfg.Interleave = n
+			d2, err := sc.New(cfg)
+			if err != nil {
+				out.rejected++
+				continue
+			}
+			m2, err := d2.Evaluate(spec.IMax)
+			if err != nil {
+				out.rejected++
+				continue
+			}
+			d, m = d2, m2
+		}
+		if m.AreaDie > spec.AreaMax {
+			out.rejected++
+			continue
+		}
+		out.candidates = append(out.candidates, Candidate{
+			Kind:    KindSC,
+			Label:   fmt.Sprintf("%s / %v caps / x%d", an.Name, capKind, d.Config().Interleave),
+			Metrics: m,
+			SC:      d,
+		})
+	}
+}
+
+// enumerateBuck expands the buck slice into one job per (phase count,
+// switching frequency) plan.
+func enumerateBuck(spec Spec, node *tech.Node, pre *shard) []job {
 	ind, err := node.Inductor(tech.IntegratedThinFilm)
 	if err != nil {
-		r.Rejected++
-		return
+		pre.rejected++
+		return nil
 	}
 	outCapKind := tech.DeepTrench
 	if _, err := node.Capacitor(outCapKind); err != nil {
@@ -306,6 +371,7 @@ func (r *Result) exploreBuck(spec Spec, node *tech.Node) {
 	}
 	// Phase count from inductor saturation with 25% headroom.
 	minPhases := int(math.Ceil(spec.IMax / (ind.IMax * 0.8)))
+	var jobs []job
 	for _, phases := range []int{minPhases, minPhases * 2} {
 		if phases < 1 || phases > 64 {
 			continue
@@ -314,108 +380,126 @@ func (r *Result) exploreBuck(spec Spec, node *tech.Node) {
 			if fsw > spec.FSwMax {
 				continue
 			}
-			d := spec.VOut / spec.VIn
-			iPh := spec.IMax / float64(phases)
-			// Target 60% phase-current ripple in CCM. The frequency
-			// roll-off coefficient is independent of L0, so the required
-			// effective inductance divides by it directly.
-			dI := 0.6 * iPh
-			lReq := spec.VOut * (1 - d) / (fsw * dI)
-			coeff := ind.LEff(1.0, fsw) // roll-off factor at this frequency
-			l := lReq / coeff
-			if l <= 0 {
-				r.Rejected++
-				continue
-			}
-			// Output capacitance for the ripple target.
-			n := float64(phases)
-			cOut := dI / (8 * spec.RippleMax * fsw * n * n)
-			if cOut < 5e-9 {
-				cOut = 5e-9
-			}
-			cfg := buck.Config{
-				Node: node, Inductor: tech.IntegratedThinFilm, OutCap: outCapKind,
-				VIn: spec.VIn, VOut: spec.VOut,
-				L: l, COut: cOut, FSw: fsw,
-				GHigh: 1, GLow: 1, Interleave: phases,
-			}
-			bd, err := buck.New(cfg)
-			if err != nil {
-				r.Rejected++
-				continue
-			}
-			bd, err = bd.OptimizeConductances(spec.IMax)
-			if err != nil {
-				r.Rejected++
-				continue
-			}
-			m, err := bd.Evaluate(spec.IMax)
-			if err != nil {
-				r.Rejected++
-				continue
-			}
-			if m.AreaDie > spec.AreaMax {
-				r.Rejected++
-				continue
-			}
-			r.Candidates = append(r.Candidates, Candidate{
-				Kind:    KindBuck,
-				Label:   fmt.Sprintf("buck x%d @ %.0f MHz", phases, fsw/1e6),
-				Metrics: m,
-				Buck:    bd,
+			jobs = append(jobs, func(out *shard) {
+				evalBuck(out, spec, node, ind, outCapKind, phases, fsw)
 			})
 		}
 	}
+	return jobs
 }
 
-func (r *Result) exploreLDO(spec Spec, node *tech.Node) {
-	headroom := spec.VIn - spec.VOut
-	gPass := spec.IMax / headroom * 1.3
+// evalBuck sizes and evaluates one buck (phase count, frequency) plan.
+func evalBuck(out *shard, spec Spec, node *tech.Node, ind tech.InductorOption,
+	outCapKind tech.CapacitorKind, phases int, fsw float64) {
+	d := spec.VOut / spec.VIn
+	iPh := spec.IMax / float64(phases)
+	// Target 60% phase-current ripple in CCM. The frequency
+	// roll-off coefficient is independent of L0, so the required
+	// effective inductance divides by it directly.
+	dI := 0.6 * iPh
+	lReq := spec.VOut * (1 - d) / (fsw * dI)
+	coeff := ind.LEff(1.0, fsw) // roll-off factor at this frequency
+	l := lReq / coeff
+	if l <= 0 {
+		out.rejected++
+		return
+	}
+	// Output capacitance for the ripple target.
+	n := float64(phases)
+	cOut := dI / (8 * spec.RippleMax * fsw * n * n)
+	if cOut < 5e-9 {
+		cOut = 5e-9
+	}
+	cfg := buck.Config{
+		Node: node, Inductor: tech.IntegratedThinFilm, OutCap: outCapKind,
+		VIn: spec.VIn, VOut: spec.VOut,
+		L: l, COut: cOut, FSw: fsw,
+		GHigh: 1, GLow: 1, Interleave: phases,
+	}
+	bd, err := buck.New(cfg)
+	if err != nil {
+		out.rejected++
+		return
+	}
+	bd, err = bd.OptimizeConductances(spec.IMax)
+	if err != nil {
+		out.rejected++
+		return
+	}
+	m, err := bd.Evaluate(spec.IMax)
+	if err != nil {
+		out.rejected++
+		return
+	}
+	if m.AreaDie > spec.AreaMax {
+		out.rejected++
+		return
+	}
+	out.candidates = append(out.candidates, Candidate{
+		Kind:    KindBuck,
+		Label:   fmt.Sprintf("buck x%d @ %.0f MHz", phases, fsw/1e6),
+		Metrics: m,
+		Buck:    bd,
+	})
+}
+
+// enumerateLDO expands the linear-regulator slice into one job per sample
+// frequency.
+func enumerateLDO(spec Spec, node *tech.Node) []job {
+	var jobs []job
 	for _, fs := range []float64{30e6, 100e6, 300e6} {
 		if fs > spec.FSwMax {
 			continue
 		}
-		// Output cap sized for the limit-cycle ripple target.
-		cOut := spec.IMax / (spec.RippleMax * fs)
-		interleave := 1
-		// Cap the decap spend at a third of the budget by interleaving.
-		capOpt, err := node.Capacitor(tech.DeepTrench)
-		if err != nil {
-			capOpt, _ = node.Capacitor(tech.MOSCap)
-		}
-		if a := capOpt.Area(cOut); a > spec.AreaMax/3 {
-			shrink := a / (spec.AreaMax / 3)
-			interleave = int(math.Ceil(shrink))
-			if interleave > 64 {
-				interleave = 64
-			}
-			cOut /= shrink
-		}
-		cfg := ldo.Config{
-			Node: node, VIn: spec.VIn, VOut: spec.VOut,
-			GPass: gPass, COut: cOut, FSample: fs, Interleave: interleave,
-		}
-		ld, err := ldo.New(cfg)
-		if err != nil {
-			r.Rejected++
-			continue
-		}
-		m, err := ld.Evaluate(spec.IMax)
-		if err != nil {
-			r.Rejected++
-			continue
-		}
-		if m.AreaDie > spec.AreaMax {
-			r.Rejected++
-			continue
-		}
-		r.Candidates = append(r.Candidates, Candidate{
-			Kind:    KindLDO,
-			Label:   fmt.Sprintf("digital LDO @ %.0f MHz x%d", fs/1e6, interleave),
-			Metrics: m,
-			LDO:     ld,
-		})
+		jobs = append(jobs, func(out *shard) { evalLDO(out, spec, node, fs) })
 	}
+	return jobs
+}
+
+// evalLDO sizes and evaluates one digital-LDO sample-frequency plan.
+func evalLDO(out *shard, spec Spec, node *tech.Node, fs float64) {
+	headroom := spec.VIn - spec.VOut
+	gPass := spec.IMax / headroom * 1.3
+	// Output cap sized for the limit-cycle ripple target.
+	cOut := spec.IMax / (spec.RippleMax * fs)
+	interleave := 1
+	// Cap the decap spend at a third of the budget by interleaving.
+	capOpt, err := node.Capacitor(tech.DeepTrench)
+	if err != nil {
+		capOpt, _ = node.Capacitor(tech.MOSCap)
+	}
+	if a := capOpt.Area(cOut); a > spec.AreaMax/3 {
+		shrink := a / (spec.AreaMax / 3)
+		interleave = int(math.Ceil(shrink))
+		if interleave > 64 {
+			interleave = 64
+		}
+		cOut /= shrink
+	}
+	cfg := ldo.Config{
+		Node: node, VIn: spec.VIn, VOut: spec.VOut,
+		GPass: gPass, COut: cOut, FSample: fs, Interleave: interleave,
+	}
+	ld, err := ldo.New(cfg)
+	if err != nil {
+		out.rejected++
+		return
+	}
+	m, err := ld.Evaluate(spec.IMax)
+	if err != nil {
+		out.rejected++
+		return
+	}
+	if m.AreaDie > spec.AreaMax {
+		out.rejected++
+		return
+	}
+	out.candidates = append(out.candidates, Candidate{
+		Kind:    KindLDO,
+		Label:   fmt.Sprintf("digital LDO @ %.0f MHz x%d", fs/1e6, interleave),
+		Metrics: m,
+		LDO:     ld,
+	})
 }
 
 // rank orders candidates per the objective.

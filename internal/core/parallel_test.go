@@ -1,0 +1,88 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestExploreDeterministicAcrossWorkers checks the tentpole guarantee: the
+// parallel exploration engine produces bit-identical output to the serial
+// path — same candidate ordering, labels, metrics (exact equality, via
+// reflect.DeepEqual), rejection counts, and best pick — for any worker
+// count. Run under -race in CI, this also exercises the shared
+// Analysis/tech.Node read paths from many goroutines.
+func TestExploreDeterministicAcrossWorkers(t *testing.T) {
+	for _, obj := range []Objective{MaxEfficiency, MinArea, MinNoise} {
+		spec := CaseStudySpec("45nm")
+		spec.Objective = obj
+		spec.Workers = 1
+		serial, err := Explore(spec)
+		if err != nil {
+			t.Fatalf("objective %v: serial explore: %v", obj, err)
+		}
+		for _, workers := range []int{0, 2, 8, runtime.NumCPU()} {
+			spec := spec
+			spec.Workers = workers
+			par, err := Explore(spec)
+			if err != nil {
+				t.Fatalf("objective %v workers %d: %v", obj, workers, err)
+			}
+			if par.Rejected != serial.Rejected {
+				t.Errorf("objective %v workers %d: rejected %d, serial %d",
+					obj, workers, par.Rejected, serial.Rejected)
+			}
+			if len(par.Candidates) != len(serial.Candidates) {
+				t.Fatalf("objective %v workers %d: %d candidates, serial %d",
+					obj, workers, len(par.Candidates), len(serial.Candidates))
+			}
+			for i := range par.Candidates {
+				pc, sc := par.Candidates[i], serial.Candidates[i]
+				if pc.Kind != sc.Kind || pc.Label != sc.Label {
+					t.Fatalf("objective %v workers %d: candidate %d is %v %q, serial %v %q",
+						obj, workers, i, pc.Kind, pc.Label, sc.Kind, sc.Label)
+				}
+				if !reflect.DeepEqual(pc.Metrics, sc.Metrics) {
+					t.Fatalf("objective %v workers %d: candidate %d metrics diverge:\n%+v\nvs serial\n%+v",
+						obj, workers, i, pc.Metrics, sc.Metrics)
+				}
+			}
+			if !reflect.DeepEqual(par.Best.Metrics, serial.Best.Metrics) || par.Best.Label != serial.Best.Label {
+				t.Errorf("objective %v workers %d: best %q diverges from serial %q",
+					obj, workers, par.Best.Label, serial.Best.Label)
+			}
+		}
+	}
+}
+
+// TestExploreWorkersValidation checks the Workers knob's input contract.
+func TestExploreWorkersValidation(t *testing.T) {
+	spec := CaseStudySpec("45nm")
+	spec.Workers = -1
+	if _, err := Explore(spec); err == nil {
+		t.Fatal("expected an error for negative Workers")
+	}
+}
+
+// TestExploreRejectsFailedInterleaveReEvaluation pins the interleave
+// fallback fix: a design whose post-interleave re-evaluation fails must be
+// rejected, not kept as an over-ripple candidate. Every returned SC
+// candidate therefore either meets the ripple target or is interleave-
+// capped at 64 phases.
+func TestExploreRejectsFailedInterleaveReEvaluation(t *testing.T) {
+	spec := CaseStudySpec("45nm")
+	res, err := Explore(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rippleMax := res.Spec.RippleMax // defaulted inside Explore
+	for _, c := range res.Candidates {
+		if c.Kind != KindSC {
+			continue
+		}
+		if c.Metrics.RippleVpp > rippleMax*1.0001 && c.SC.Config().Interleave < 64 {
+			t.Errorf("candidate %q is over the ripple target (%.3g > %.3g V) without being interleave-capped",
+				c.Label, c.Metrics.RippleVpp, rippleMax)
+		}
+	}
+}

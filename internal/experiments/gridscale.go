@@ -55,7 +55,13 @@ func GridScale() (*GridScaleResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := m.WorstCaseResistance(taps, region)
+		// One solver context per tap set: the Laplacian is factored once and
+		// reused for every per-tile solve in the region sweep.
+		s, err := m.NewSolver(taps)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.WorstCaseResistance(region)
 		if err != nil {
 			return nil, err
 		}

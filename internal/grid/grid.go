@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"ivory/internal/numeric"
+	"ivory/internal/parallel"
 )
 
 // Point is a tile coordinate on the mesh.
@@ -32,6 +34,13 @@ type Mesh struct {
 	// RTile is the resistance of one tile-to-tile link (ohm) — the sheet
 	// resistance times the squares per tile pitch.
 	RTile float64
+
+	// Lazily assembled tapless Laplacians, shared by every Solver built on
+	// this mesh (taps only add diagonal entries, so a clone-plus-diagonal
+	// reproduces the from-scratch assembly exactly).
+	mu        sync.Mutex
+	bandLap   *numeric.SymBand
+	sparseLap *numeric.SparseMatrix
 }
 
 // NewMesh validates and builds a mesh.
@@ -90,67 +99,111 @@ func (m *Mesh) laplacian(taps []Point) (*numeric.SparseMatrix, error) {
 	return sm, nil
 }
 
+// sparseBase returns the cached tapless Laplacian in mesh row-major order,
+// assembling it on first use.
+func (m *Mesh) sparseBase() *numeric.SparseMatrix {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sparseLap == nil {
+		n := m.W * m.H
+		sm := numeric.NewSparseMatrix(n)
+		g := 1 / m.RTile
+		for y := 0; y < m.H; y++ {
+			for x := 0; x < m.W; x++ {
+				i := m.idx(Point{x, y})
+				if x+1 < m.W {
+					j := m.idx(Point{x + 1, y})
+					sm.AddDiag(i, g)
+					sm.AddDiag(j, g)
+					sm.AddSym(i, j, -g)
+				}
+				if y+1 < m.H {
+					j := m.idx(Point{x, y + 1})
+					sm.AddDiag(i, g)
+					sm.AddDiag(j, g)
+					sm.AddSym(i, j, -g)
+				}
+			}
+		}
+		m.sparseLap = sm
+	}
+	return m.sparseLap
+}
+
+// bandBase returns the cached tapless Laplacian in band form, ordered
+// along the shorter mesh dimension to minimize bandwidth.
+func (m *Mesh) bandBase() (*numeric.SymBand, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.bandLap == nil {
+		n := m.W * m.H
+		bw := m.W
+		transposed := m.H < m.W
+		if transposed {
+			bw = m.H
+		}
+		idx := func(p Point) int {
+			if transposed {
+				return p.X*m.H + p.Y
+			}
+			return p.Y*m.W + p.X
+		}
+		sb, err := numeric.NewSymBand(n, bw)
+		if err != nil {
+			return nil, err
+		}
+		g := 1 / m.RTile
+		for y := 0; y < m.H; y++ {
+			for x := 0; x < m.W; x++ {
+				i := idx(Point{x, y})
+				if x+1 < m.W {
+					j := idx(Point{x + 1, y})
+					sb.Add(i, i, g)
+					sb.Add(j, j, g)
+					sb.Add(i, j, -g)
+				}
+				if y+1 < m.H {
+					j := idx(Point{x, y + 1})
+					sb.Add(i, i, g)
+					sb.Add(j, j, g)
+					sb.Add(i, j, -g)
+				}
+			}
+		}
+		m.bandLap = sb
+	}
+	return m.bandLap, nil
+}
+
 // EffectiveResistance returns the small-signal resistance seen by a load at
-// p with all taps regulating: inject 1 A at p, read the potential.
+// p with all taps regulating: inject 1 A at p, read the potential. One-shot
+// convenience; batch callers should build a Solver and reuse it.
 func (m *Mesh) EffectiveResistance(taps []Point, p Point) (float64, error) {
-	if !m.inBounds(p) {
-		return 0, fmt.Errorf("grid: load point %v outside the mesh", p)
-	}
-	sm, err := m.laplacian(taps)
+	s, err := m.NewSolver(taps)
 	if err != nil {
 		return 0, err
 	}
-	b := make([]float64, sm.N())
-	b[m.idx(p)] = 1
-	x, _, err := sm.SolveCG(b, 1e-10, 0)
-	if err != nil {
-		return 0, err
-	}
-	return x[m.idx(p)], nil
+	return s.EffectiveResistance(p)
 }
 
 // IRDrop solves the full mesh with per-core load currents and returns each
 // core's voltage drop below the regulated level (V).
 func (m *Mesh) IRDrop(taps []Point, cores []Point, currents []float64) ([]float64, error) {
-	if len(cores) != len(currents) {
-		return nil, fmt.Errorf("grid: %d cores but %d currents", len(cores), len(currents))
-	}
-	sm, err := m.laplacian(taps)
+	s, err := m.NewSolver(taps)
 	if err != nil {
 		return nil, err
 	}
-	b := make([]float64, sm.N())
-	for k, c := range cores {
-		if !m.inBounds(c) {
-			return nil, fmt.Errorf("grid: core %v outside the mesh", c)
-		}
-		b[m.idx(c)] += currents[k]
-	}
-	x, _, err := sm.SolveCG(b, 1e-10, 0)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, len(cores))
-	for k, c := range cores {
-		out[k] = x[m.idx(c)]
-	}
-	return out, nil
+	return s.IRDrop(cores, currents)
 }
 
 // WorstCaseResistance returns the largest effective resistance over the
 // given core sites.
 func (m *Mesh) WorstCaseResistance(taps, cores []Point) (float64, error) {
-	worst := 0.0
-	for _, c := range cores {
-		r, err := m.EffectiveResistance(taps, c)
-		if err != nil {
-			return 0, err
-		}
-		if r > worst {
-			worst = r
-		}
+	s, err := m.NewSolver(taps)
+	if err != nil {
+		return 0, err
 	}
-	return worst, nil
+	return s.WorstCaseResistance(cores)
 }
 
 // PlaceIVRs picks n tap sites minimizing the worst-case effective
@@ -205,33 +258,48 @@ func (m *Mesh) PlaceIVRs(n int, cores []Point) ([]Point, error) {
 	// resistance. The mean tie-break matters on symmetric floorplans:
 	// when two far cores tie for the worst case, helping either one
 	// cannot lower the max, and a pure worst-case greedy would stall.
+	// Each tap set gets one Solver (one Laplacian assembly + factorization
+	// shared by all core sites); the per-core solves run inline because the
+	// candidate scoring loop below is already parallel.
 	evaluate := func(ts []Point) (worst, mean float64, err error) {
-		for _, c := range cores {
-			r, err := m.EffectiveResistance(ts, c)
-			if err != nil {
-				return 0, 0, err
-			}
-			if r > worst {
-				worst = r
-			}
-			mean += r
+		s, err := m.NewSolver(ts)
+		if err != nil {
+			return 0, 0, err
 		}
-		return worst, mean / float64(len(cores)), nil
+		return s.worstMean(cores, 1)
 	}
 	for len(taps) < n {
+		// Score every candidate concurrently, then reduce in index order so
+		// the chosen tap is identical to the serial scan's.
+		type score struct {
+			w, mn float64
+			err   error
+			ok    bool
+		}
+		scores := make([]score, len(candidates))
+		parallel.For(len(candidates), 0, func(i int) {
+			cand := candidates[i]
+			if containsPoint(taps, cand) {
+				return
+			}
+			trial := make([]Point, len(taps)+1)
+			copy(trial, taps)
+			trial[len(taps)] = cand
+			w, mn, err := evaluate(trial)
+			scores[i] = score{w: w, mn: mn, err: err, ok: true}
+		})
 		bestW, bestM := math.Inf(1), math.Inf(1)
 		var best Point
-		for _, cand := range candidates {
-			if containsPoint(taps, cand) {
+		for i, sc := range scores {
+			if !sc.ok {
 				continue
 			}
-			w, mn, err := evaluate(append(taps, cand))
-			if err != nil {
-				return nil, err
+			if sc.err != nil {
+				return nil, sc.err
 			}
-			if w < bestW-1e-12 || (math.Abs(w-bestW) <= 1e-12 && mn < bestM) {
-				bestW, bestM = w, mn
-				best = cand
+			if sc.w < bestW-1e-12 || (math.Abs(sc.w-bestW) <= 1e-12 && sc.mn < bestM) {
+				bestW, bestM = sc.w, sc.mn
+				best = candidates[i]
 			}
 		}
 		taps = append(taps, best)

@@ -31,6 +31,23 @@ func NewSparseMatrix(n int) *SparseMatrix {
 // N returns the dimension.
 func (m *SparseMatrix) N() int { return m.n }
 
+// Clone returns an independent deep copy. The grid solver assembles a
+// mesh Laplacian once and clones it per regulator tap set (taps only
+// touch the diagonal), instead of re-assembling the whole matrix.
+func (m *SparseMatrix) Clone() *SparseMatrix {
+	c := &SparseMatrix{
+		n:    m.n,
+		diag: append([]float64(nil), m.diag...),
+		cols: make([][]int32, m.n),
+		vals: make([][]float64, m.n),
+	}
+	for i := 0; i < m.n; i++ {
+		c.cols[i] = append([]int32(nil), m.cols[i]...)
+		c.vals[i] = append([]float64(nil), m.vals[i]...)
+	}
+	return c
+}
+
 // AddDiag accumulates v onto the diagonal entry (i, i).
 func (m *SparseMatrix) AddDiag(i int, v float64) { m.diag[i] += v }
 

@@ -1,0 +1,51 @@
+// Package parallel holds the tiny fan-out helper shared by the design-space
+// exploration engine and the grid placement heuristic. It exists so every
+// hot loop parallelizes the same way: a bounded worker pool pulling indices
+// off an atomic counter, with the caller responsible for writing results
+// into per-index slots so merge order stays deterministic.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), spread over min(workers, n)
+// goroutines. workers <= 0 selects runtime.NumCPU(); workers == 1 runs the
+// loop inline with no goroutines (the serial reference path). fn must be
+// safe for concurrent invocation and must confine its writes to data owned
+// by index i.
+func For(n, workers int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -162,7 +162,17 @@ const (
 // Analyze solves the topology for its ideal ratio and charge-multiplier
 // vectors. It returns an error for inconsistent netlists (e.g. a switch
 // network that shorts the input) or degenerate ones (no output path).
+//
+// Results are memoized package-wide by canonical netlist (see cache.go):
+// repeated analyses of the same topology — every Explore call re-derives
+// the handful of ratios in its search window — return the cached Analysis.
+// The returned Analysis is shared; treat it as read-only.
 func (t *Topology) Analyze() (*Analysis, error) {
+	return t.analyzeCached()
+}
+
+// analyze is the uncached solve behind Analyze.
+func (t *Topology) analyze() (*Analysis, error) {
 	if len(t.Caps) == 0 && len(t.Switches) == 0 {
 		return nil, fmt.Errorf("topology %s: empty netlist", t.Name)
 	}

@@ -298,6 +298,10 @@ type (
 	GridMesh = grid.Mesh
 	// GridPoint is a tile coordinate on a mesh.
 	GridPoint = grid.Point
+	// GridSolver is a per-tap-set solving context: the mesh Laplacian is
+	// assembled and factored once (GridMesh.NewSolver) and reused across
+	// EffectiveResistance / IRDrop / WorstCaseResistance queries.
+	GridSolver = grid.Solver
 )
 
 // NewGridMesh builds a W x H power-grid mesh with the given per-link
