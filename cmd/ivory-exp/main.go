@@ -3,19 +3,26 @@
 //
 // Usage:
 //
-//	ivory-exp [-outdir dir] <experiment> [...]
+//	ivory-exp [-outdir dir] [-timeout 10m] [-progress] <experiment> [...]
 //	ivory-exp all
 //
 // Experiments: fig4, fig6, fig7, fig8, fig9, table1, table2, fig10, fig11,
 // fig12, fig13, ablations, twostage, dvfs, families, gridscale, gears.
 // Text tables print to stdout; with -outdir, plot-ready CSV data files are
 // written as well. See EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// ^C (or an elapsed -timeout) cancels the in-flight experiment's
+// exploration and stops the run; `all` otherwise continues past individual
+// experiment failures and exits nonzero at the end if any failed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"ivory/internal/experiments"
 	"ivory/internal/report"
@@ -32,141 +39,141 @@ type outcome struct {
 	data csvWriter
 }
 
-type noiseFn func() (*experiments.Fig10Result, error)
+type noiseFn func(ctx context.Context) (*experiments.Fig10Result, error)
 
-type runner func(noise noiseFn) (outcome, error)
+type runner func(ctx context.Context, noise noiseFn) (outcome, error)
 
 var runners = map[string]runner{
-	"fig4": func(noiseFn) (outcome, error) {
+	"fig4": func(context.Context, noiseFn) (outcome, error) {
 		r, err := experiments.Fig4(0)
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"fig6": func(noiseFn) (outcome, error) {
+	"fig6": func(context.Context, noiseFn) (outcome, error) {
 		r, err := experiments.Fig6()
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"fig7": func(noiseFn) (outcome, error) {
+	"fig7": func(context.Context, noiseFn) (outcome, error) {
 		r, err := experiments.Fig7()
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"fig8": func(noiseFn) (outcome, error) {
+	"fig8": func(context.Context, noiseFn) (outcome, error) {
 		r, err := experiments.Fig8()
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"fig9": func(noiseFn) (outcome, error) {
+	"fig9": func(context.Context, noiseFn) (outcome, error) {
 		r, err := experiments.Fig9()
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"table1": func(noiseFn) (outcome, error) {
+	"table1": func(context.Context, noiseFn) (outcome, error) {
 		s, err := experiments.Table1()
 		return outcome{text: s}, err
 	},
-	"table2": func(noiseFn) (outcome, error) {
-		t, err := experiments.Table2()
+	"table2": func(ctx context.Context, _ noiseFn) (outcome, error) {
+		t, err := experiments.Table2Context(ctx)
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{text: "Table 2 — " + t.Format()}, nil
 	},
-	"fig10": func(noise noiseFn) (outcome, error) {
-		r, err := noise()
+	"fig10": func(ctx context.Context, noise noiseFn) (outcome, error) {
+		r, err := noise(ctx)
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"fig11": func(noise noiseFn) (outcome, error) {
-		r, err := noise()
+	"fig11": func(ctx context.Context, noise noiseFn) (outcome, error) {
+		r, err := noise(ctx)
 		if err != nil {
 			return outcome{}, err
 		}
 		// fig10's CSV writer also emits the fig11 traces.
 		return outcome{text: r.FormatFig11()}, nil
 	},
-	"fig12": func(noiseFn) (outcome, error) {
-		r, err := experiments.Fig12()
+	"fig12": func(ctx context.Context, _ noiseFn) (outcome, error) {
+		r, err := experiments.Fig12Context(ctx)
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"fig13": func(noise noiseFn) (outcome, error) {
-		n, err := noise()
+	"fig13": func(ctx context.Context, noise noiseFn) (outcome, error) {
+		n, err := noise(ctx)
 		if err != nil {
 			return outcome{}, err
 		}
-		r, err := experiments.Fig13(n)
-		if err != nil {
-			return outcome{}, err
-		}
-		return outcome{r.Format(), r}, nil
-	},
-	"ablations": func(noiseFn) (outcome, error) {
-		r, err := experiments.Ablations()
+		r, err := experiments.Fig13Context(ctx, n)
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"twostage": func(noiseFn) (outcome, error) {
-		r, err := experiments.TwoStage()
+	"ablations": func(ctx context.Context, _ noiseFn) (outcome, error) {
+		r, err := experiments.AblationsContext(ctx)
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"dvfs": func(noiseFn) (outcome, error) {
-		r, err := experiments.FastDVFS()
+	"twostage": func(ctx context.Context, _ noiseFn) (outcome, error) {
+		r, err := experiments.TwoStageContext(ctx)
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"families": func(noiseFn) (outcome, error) {
+	"dvfs": func(ctx context.Context, _ noiseFn) (outcome, error) {
+		r, err := experiments.FastDVFSContext(ctx)
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
+	"families": func(context.Context, noiseFn) (outcome, error) {
 		r, err := experiments.FamilyTransients()
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"gridscale": func(noiseFn) (outcome, error) {
-		r, err := experiments.GridScale()
+	"gridscale": func(ctx context.Context, _ noiseFn) (outcome, error) {
+		r, err := experiments.GridScaleContext(ctx)
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"gears": func(noiseFn) (outcome, error) {
+	"gears": func(context.Context, noiseFn) (outcome, error) {
 		r, err := experiments.Gears()
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
-	"variation": func(noiseFn) (outcome, error) {
-		r, err := experiments.Variation(0, 0)
+	"variation": func(ctx context.Context, _ noiseFn) (outcome, error) {
+		r, err := experiments.VariationContext(ctx, 0, 0)
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{text: r.Format()}, nil
 	},
-	"nodes": func(noiseFn) (outcome, error) {
-		r, err := experiments.NodeSweep()
+	"nodes": func(ctx context.Context, _ noiseFn) (outcome, error) {
+		r, err := experiments.NodeSweepContext(ctx)
 		if err != nil {
 			return outcome{}, err
 		}
@@ -182,45 +189,77 @@ var order = []string{
 
 func main() {
 	outdir := flag.String("outdir", "", "write plot-ready CSV data files to this directory")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	progress := flag.Bool("progress", false, "print per-experiment progress to stderr")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: ivory-exp [-outdir dir] <experiment|all> ...\nexperiments: %v\n", order)
+		fmt.Fprintf(os.Stderr, "usage: ivory-exp [-outdir dir] [-timeout d] [-progress] <experiment|all> ...\nexperiments: %v\n", order)
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
 		args = order
 	}
+	// Validate every requested experiment before running any: a typo at the
+	// end of the list should not cost an hour of compute first.
+	for _, name := range args {
+		if _, ok := runners[name]; !ok {
+			fmt.Fprintf(os.Stderr, "ivory-exp: unknown experiment %q (have %v)\n", name, order)
+			os.Exit(2)
+		}
+	}
+	// ^C cancels the in-flight experiment's explorations instead of killing
+	// the process, so partially written CSVs still get the summary below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	// fig10/fig11/fig13 share the noise analysis; cache it across the run.
+	// Only a successful result is memoized — a failed (e.g. cancelled)
+	// attempt must not satisfy later callers with a partial analysis.
 	var cached *experiments.Fig10Result
-	noise := func() (*experiments.Fig10Result, error) {
+	noise := func(ctx context.Context) (*experiments.Fig10Result, error) {
 		if cached != nil {
 			return cached, nil
 		}
-		var err error
-		cached, err = experiments.Fig10(0, 0)
-		return cached, err
+		r, err := experiments.Fig10Context(ctx, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		cached = r
+		return cached, nil
 	}
 	var w *report.Writer
 	if *outdir != "" {
 		w = report.NewWriter(*outdir)
 	}
-	for _, name := range args {
-		run, ok := runners[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "ivory-exp: unknown experiment %q (have %v)\n", name, order)
-			os.Exit(2)
+	start := time.Now()
+	failed := 0
+	for k, name := range args {
+		// A cancelled run stops here; individual experiment failures below
+		// do not, so one broken figure can't abort the rest of `all`.
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "ivory-exp: run cancelled (%v) after %d/%d experiments\n", err, k, len(args))
+			failed++
+			break
 		}
-		out, err := run(noise)
+		if *progress {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s (%.0fs elapsed)\n", k+1, len(args), name, time.Since(start).Seconds())
+		}
+		out, err := runners[name](ctx, noise)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ivory-exp: %s: %v\n", name, err)
-			os.Exit(1)
+			failed++
+			continue
 		}
 		fmt.Println(out.text)
 		if w != nil && out.data != nil {
 			if err := out.data.WriteCSV(w); err != nil {
 				fmt.Fprintf(os.Stderr, "ivory-exp: %s: %v\n", name, err)
-				os.Exit(1)
+				failed++
 			}
 		}
 	}
@@ -228,5 +267,9 @@ func main() {
 		for _, p := range w.Written {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", p)
 		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ivory-exp: %d of %d experiments failed\n", failed, len(args))
+		os.Exit(1)
 	}
 }

@@ -5,17 +5,20 @@
 //
 //	ivory nodes
 //	ivory topology  -family sp -p 3 -q 1
-//	ivory explore   -node 45nm -vin 3.3 -vout 1.0 -imax 6 -area-mm2 6 [-objective eff|area|noise] [-top 10]
+//	ivory explore   -node 45nm -vin 3.3 -vout 1.0 -imax 6 -area-mm2 6 [-objective eff|area|noise] [-top 10] [-timeout 30s] [-progress] [-workers N]
 //	ivory table2    -node 45nm -vin 3.3 -vout 1.0 -imax 23.5 -area-mm2 20 [-counts 1,2,4]
 //	ivory dynamic   -node 45nm -vin 3.3 -vout 1.0 -imax 6 -area-mm2 6 -step-to 9 [-csv out.csv]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"ivory"
 )
@@ -67,20 +70,28 @@ commands:
   node-dump  write a technology node as JSON (template for custom nodes)`)
 }
 
-func specFlags(fs *flag.FlagSet) func() (ivory.Spec, error) {
+// specFlags registers the spec and run-control flags. The returned getter
+// builds the spec — Context wired to SIGINT (and -timeout when set),
+// Progress wired to a stderr ticker under -progress — plus a cleanup
+// function the command must defer to release the signal registration.
+func specFlags(fs *flag.FlagSet) func() (ivory.Spec, context.CancelFunc, error) {
 	node := fs.String("node", "45nm", "technology node")
 	vin := fs.Float64("vin", 3.3, "input voltage (V)")
 	vout := fs.Float64("vout", 1.0, "output voltage target (V)")
 	imax := fs.Float64("imax", 6, "maximum load current (A)")
 	area := fs.Float64("area-mm2", 6, "die area budget (mm2)")
 	objective := fs.String("objective", "eff", "optimization objective: eff|area|noise")
-	return func() (ivory.Spec, error) {
+	timeout := fs.Duration("timeout", 0, "abort the exploration after this long (0 = no limit)")
+	progress := fs.Bool("progress", false, "print live exploration progress to stderr")
+	workers := fs.Int("workers", 0, "exploration worker count (0 = one per CPU, 1 = serial)")
+	return func() (ivory.Spec, context.CancelFunc, error) {
 		s := ivory.Spec{
 			NodeName: *node,
 			VIn:      *vin,
 			VOut:     *vout,
 			IMax:     *imax,
 			AreaMax:  *area * 1e-6,
+			Workers:  *workers,
 		}
 		switch *objective {
 		case "eff":
@@ -90,9 +101,41 @@ func specFlags(fs *flag.FlagSet) func() (ivory.Spec, error) {
 		case "noise":
 			s.Objective = ivory.MinNoise
 		default:
-			return s, fmt.Errorf("unknown objective %q", *objective)
+			return s, nil, fmt.Errorf("unknown objective %q", *objective)
 		}
-		return s, nil
+		// ^C cancels the exploration instead of killing the process: the
+		// run drains in-flight jobs and the command still prints whatever
+		// ranked prefix completed plus the stats line.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		cancel := stop
+		if *timeout > 0 {
+			tctx, tcancel := context.WithTimeout(ctx, *timeout)
+			ctx = tctx
+			cancel = func() { tcancel(); stop() }
+		}
+		s.Context = ctx
+		if *progress {
+			s.Progress = progressPrinter()
+		}
+		return s, cancel, nil
+	}
+}
+
+// progressPrinter returns a Spec.Progress callback that repaints one
+// stderr status line, rate-limited so terminals aren't flooded. Calls are
+// already serialized by the exploration engine.
+func progressPrinter() func(ivory.ExploreStats) {
+	var last time.Time
+	return func(s ivory.ExploreStats) {
+		if s.Done != s.Jobs && time.Since(last) < 100*time.Millisecond {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintf(os.Stderr, "\rexplore: %d/%d jobs, %d accepted, %d rejected",
+			s.Done, s.Jobs, s.Accepted(), s.Rejected())
+		if s.Done == s.Jobs {
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 }
 
@@ -163,13 +206,19 @@ func cmdExplore(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	spec, err := get()
+	spec, cancel, err := get()
 	if err != nil {
 		return err
 	}
+	defer cancel()
 	res, err := ivory.Explore(spec)
-	if err != nil {
+	if err != nil && res == nil {
 		return err
+	}
+	if err != nil {
+		// Cancelled or timed out mid-run: Explore still returns the ranked
+		// prefix that completed, so show it before exiting nonzero.
+		fmt.Fprintf(os.Stderr, "ivory: exploration interrupted (%v); showing partial results\n", err)
 	}
 	fmt.Printf("explored %d feasible candidates (%d rejected), objective %v\n",
 		len(res.Candidates), res.Rejected, spec.Objective)
@@ -183,7 +232,8 @@ func cmdExplore(args []string) error {
 			i+1, c.Kind, c.Label, c.Metrics.Efficiency*100, c.Metrics.RippleVpp*1e3,
 			c.Metrics.FSw/1e6, c.Metrics.AreaDie*1e6)
 	}
-	return nil
+	fmt.Printf("stats: %s\n", res.Stats.String())
+	return err
 }
 
 func cmdTable2(args []string) error {
@@ -193,10 +243,11 @@ func cmdTable2(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	spec, err := get()
+	spec, cancel, err := get()
 	if err != nil {
 		return err
 	}
+	defer cancel()
 	var cs []int
 	for _, s := range strings.Split(*counts, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -222,10 +273,11 @@ func cmdDynamic(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	spec, err := get()
+	spec, cancel, err := get()
 	if err != nil {
 		return err
 	}
+	defer cancel()
 	res, err := ivory.Explore(spec)
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -104,6 +105,19 @@ type Spec struct {
 	// output is bit-identical for every worker count — candidates are
 	// merged in enumeration order before ranking.
 	Workers int
+	// Context, when non-nil, cancels a running exploration: no new
+	// evaluation jobs are dispatched, in-flight jobs drain, and Explore
+	// returns ctx.Err() alongside the partial ranked result (see Explore).
+	// nil selects context.Background() — never cancelled, exactly the old
+	// behavior.
+	Context context.Context
+	// Progress, when non-nil, receives a telemetry snapshot after every
+	// completed evaluation job. Calls are serialized (never concurrent)
+	// but arrive on worker goroutines; keep the callback fast, and do not
+	// start another exploration from inside it. Progress must not mutate
+	// shared state the jobs read — the determinism contract assumes the
+	// callback only observes.
+	Progress func(Stats)
 }
 
 func (s *Spec) defaults() error {
@@ -138,6 +152,14 @@ func (s *Spec) defaults() error {
 	if len(s.Kinds) == 0 {
 		s.Kinds = []Kind{KindSC, KindBuck, KindLDO}
 	}
+	// Per-kind accounting indexes arrays by Kind, so unknown kinds are an
+	// input error now rather than a silent no-op (the old nested switch
+	// skipped them without a trace).
+	for _, k := range s.Kinds {
+		if k < 0 || int(k) >= numKinds {
+			return fmt.Errorf("core: Spec.Kinds contains unknown kind %d", int(k))
+		}
+	}
 	if s.Workers < 0 {
 		return fmt.Errorf("core: Spec.Workers must be >= 0 (got %d)", s.Workers)
 	}
@@ -168,6 +190,9 @@ type Result struct {
 	Candidates []Candidate
 	// Rejected counts configurations that failed sizing or feasibility.
 	Rejected int
+	// Stats is the run's telemetry record (per-kind counts, cache
+	// hit/miss, wall time, throughput; Cancelled on an interrupted run).
+	Stats Stats
 }
 
 // shard accumulates the outcome of one independent slice of the
@@ -179,14 +204,27 @@ type shard struct {
 	rejected   int
 }
 
-// job evaluates one pre-validated configuration slice into its shard.
-type job func(*shard)
+// job evaluates one pre-validated configuration slice into its shard; kind
+// attributes its outcomes in the run telemetry.
+type job struct {
+	kind Kind
+	run  func(*shard)
+}
 
 // Explore runs the design optimization module over the full space: the
 // candidate configurations (kind x topology x cap kind x cap share x
 // allocation policy x phase count) are enumerated into a flat work list,
 // fanned out over a Spec.Workers-bounded pool, and merged deterministically
 // before ranking.
+//
+// Run control (Spec.Context): when the context is cancelled mid-run, no
+// new jobs are dispatched, in-flight jobs drain, and Explore returns the
+// context's error TOGETHER with a non-nil partial Result — the candidates
+// of every completed job, merged in enumeration order and ranked, with
+// Stats.Cancelled set. Callers that only check err keep the old behavior;
+// callers wanting partial sweeps read the Result when err is a context
+// error. A panic inside an evaluation job is re-raised on the caller's
+// goroutine as a *parallel.PanicError carrying the job index.
 func Explore(spec Spec) (*Result, error) {
 	if err := spec.defaults(); err != nil {
 		return nil, err
@@ -196,6 +234,7 @@ func Explore(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Spec: spec}
+	tr := newTracker(spec.Progress)
 	// Enumeration resolves the cheap shared context (topology analyses,
 	// device lookups) up front; failures there reject exactly as the
 	// nested serial loops did. The per-configuration sizing and evaluation
@@ -203,6 +242,7 @@ func Explore(spec Spec) (*Result, error) {
 	var pre shard
 	var jobs []job
 	for _, k := range spec.Kinds {
+		before := pre.rejected
 		switch k {
 		case KindSC:
 			jobs = append(jobs, enumerateSC(spec, node, &pre)...)
@@ -211,13 +251,30 @@ func Explore(spec Spec) (*Result, error) {
 		case KindLDO:
 			jobs = append(jobs, enumerateLDO(spec, node)...)
 		}
+		// Enumeration-time rejections belong to the family being expanded.
+		tr.stats.PerKind[k].Rejected += pre.rejected - before
 	}
+	tr.stats.Jobs = len(jobs)
 	shards := make([]shard, len(jobs))
-	parallel.For(len(jobs), spec.Workers, func(i int) { jobs[i](&shards[i]) })
+	ferr := parallel.ForContext(spec.Context, len(jobs), spec.Workers, func(i int) {
+		jobs[i].run(&shards[i])
+		tr.jobDone(jobs[i].kind, len(shards[i].candidates), shards[i].rejected)
+	})
+	// Merge whatever completed: on an uncancelled run that is every shard;
+	// on a cancelled one, the never-started shards are simply empty, so
+	// the merge still walks enumeration order with no gaps or tears.
 	res.Rejected = pre.rejected
 	for i := range shards {
 		res.Candidates = append(res.Candidates, shards[i].candidates...)
 		res.Rejected += shards[i].rejected
+	}
+	res.Stats = tr.finalize(ferr != nil)
+	if ferr != nil {
+		if len(res.Candidates) > 0 {
+			res.rank()
+			res.Best = res.Candidates[0]
+		}
+		return res, ferr
 	}
 	if len(res.Candidates) == 0 {
 		return nil, ivr.Infeasible("design space",
@@ -280,9 +337,9 @@ func enumerateSC(spec Spec, node *tech.Node, pre *shard) []job {
 				continue
 			}
 			for _, capShare := range []float64{0.50, 0.70, 0.85, 0.93, 0.97} {
-				jobs = append(jobs, func(out *shard) {
+				jobs = append(jobs, job{kind: KindSC, run: func(out *shard) {
 					evalSC(out, spec, node, an, capKind, capOpt, capShare, usable)
-				})
+				}})
 			}
 		}
 	}
@@ -380,9 +437,9 @@ func enumerateBuck(spec Spec, node *tech.Node, pre *shard) []job {
 			if fsw > spec.FSwMax {
 				continue
 			}
-			jobs = append(jobs, func(out *shard) {
+			jobs = append(jobs, job{kind: KindBuck, run: func(out *shard) {
 				evalBuck(out, spec, node, ind, outCapKind, phases, fsw)
-			})
+			}})
 		}
 	}
 	return jobs
@@ -451,7 +508,7 @@ func enumerateLDO(spec Spec, node *tech.Node) []job {
 		if fs > spec.FSwMax {
 			continue
 		}
-		jobs = append(jobs, func(out *shard) { evalLDO(out, spec, node, fs) })
+		jobs = append(jobs, job{kind: KindLDO, run: func(out *shard) { evalLDO(out, spec, node, fs) }})
 	}
 	return jobs
 }

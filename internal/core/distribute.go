@@ -61,6 +61,10 @@ func ExploreDistribution(spec Spec, counts []int) (*DistributionTable, error) {
 		sub.AreaMax = spec.AreaMax / float64(cnt)
 		res, err := Explore(sub)
 		if err != nil {
+			// A cancelled run is a stop request, not an infeasible count.
+			if sub.Context != nil && sub.Context.Err() != nil {
+				return nil, sub.Context.Err()
+			}
 			continue // a count can be wholly infeasible; others may work
 		}
 		for _, k := range []Kind{KindSC, KindBuck, KindLDO} {

@@ -32,6 +32,17 @@ func TestExploreDeterministicAcrossWorkers(t *testing.T) {
 				t.Errorf("objective %v workers %d: rejected %d, serial %d",
 					obj, workers, par.Rejected, serial.Rejected)
 			}
+			// The telemetry layer must not perturb — or misreport — the
+			// deterministic counts: per-kind accepted/rejected match the
+			// serial path exactly.
+			if !reflect.DeepEqual(par.Stats.PerKind, serial.Stats.PerKind) {
+				t.Errorf("objective %v workers %d: per-kind stats %+v, serial %+v",
+					obj, workers, par.Stats.PerKind, serial.Stats.PerKind)
+			}
+			if par.Stats.Rejected() != serial.Rejected {
+				t.Errorf("objective %v workers %d: stats rejected %d, serial %d",
+					obj, workers, par.Stats.Rejected(), serial.Rejected)
+			}
 			if len(par.Candidates) != len(serial.Candidates) {
 				t.Fatalf("objective %v workers %d: %d candidates, serial %d",
 					obj, workers, len(par.Candidates), len(serial.Candidates))

@@ -81,6 +81,10 @@ func ExploreTwoStage(spec Spec, vmids []float64, stage1 Stage1Model) (*TwoStageR
 		// The on-chip stage carries the same output requirement.
 		r2, err := Explore(sub)
 		if err != nil {
+			// A cancelled run is a stop request, not an infeasible rail.
+			if sub.Context != nil && sub.Context.Err() != nil {
+				return nil, sub.Context.Err()
+			}
 			res.Rows = append(res.Rows, row)
 			continue
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ivory/internal/buck"
@@ -32,6 +33,12 @@ type AblationRow struct {
 
 // Ablations runs all four studies.
 func Ablations() (*AblationResult, error) {
+	return AblationsContext(context.Background())
+}
+
+// AblationsContext is Ablations with run control threaded into the
+// baseline exploration (the dominant cost).
+func AblationsContext(ctx context.Context) (*AblationResult, error) {
 	res := &AblationResult{}
 	cs, err := NewCaseSystem()
 	if err != nil {
@@ -39,6 +46,7 @@ func Ablations() (*AblationResult, error) {
 	}
 	spec := cs.Spec
 	spec.VOut = 0.9
+	spec.Context = ctx
 
 	// 1) Cost-aware vs uniform switch-conductance allocation: the 3:1 SC
 	//    mixes core and I/O devices, so the split matters.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ivory/internal/core"
@@ -18,12 +19,19 @@ type TwoStageResult struct {
 
 // TwoStage explores intermediate rails for the case-study conversion.
 func TwoStage() (*TwoStageResult, error) {
+	return TwoStageContext(context.Background())
+}
+
+// TwoStageContext is TwoStage with run control threaded into the
+// single-stage reference and every per-rail re-exploration.
+func TwoStageContext(ctx context.Context) (*TwoStageResult, error) {
 	cs, err := NewCaseSystem()
 	if err != nil {
 		return nil, err
 	}
 	spec := cs.Spec
 	spec.VOut = 0.9
+	spec.Context = ctx
 	stage1 := func(vOut, pOut float64) (float64, error) {
 		return vrmEfficiency(cs.System.VSource, vOut, pOut)
 	}
@@ -66,11 +74,17 @@ type DVFSResult struct {
 // a 0.95 V active state and a 0.70 V idle state (50 % duty) across
 // schedule periods.
 func FastDVFS() (*DVFSResult, error) {
+	return FastDVFSContext(context.Background())
+}
+
+// FastDVFSContext is FastDVFS with run control threaded into the
+// case-study exploration that picks the IVR design.
+func FastDVFSContext(ctx context.Context) (*DVFSResult, error) {
 	cs, err := NewCaseSystem()
 	if err != nil {
 		return nil, err
 	}
-	design, err := caseIVRDesign(cs)
+	design, err := caseIVRDesign(ctx, cs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ivory/internal/core"
@@ -53,8 +54,10 @@ type Fig10Result struct {
 // caseIVRDesign builds the chip-level SC converter the static exploration
 // selects for the case study (best SC candidate of Table 2), re-sized to
 // totals and with generous interleaving for the dynamic analysis.
-func caseIVRDesign(cs *CaseSystem) (*sc.Design, error) {
-	res, err := core.Explore(cs.Spec)
+func caseIVRDesign(ctx context.Context, cs *CaseSystem) (*sc.Design, error) {
+	spec := cs.Spec
+	spec.Context = ctx
+	res, err := core.Explore(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +76,15 @@ func caseIVRDesign(cs *CaseSystem) (*sc.Design, error) {
 // Fig10 runs the workload-driven noise analysis. T and dt control the
 // simulated span per cell; zero selects 20 µs at 1 ns.
 func Fig10(T, dt float64) (*Fig10Result, error) {
+	return Fig10Context(context.Background(), T, dt)
+}
+
+// Fig10Context is Fig10 with run control: the context cancels the
+// underlying exploration and is re-checked between simulation cells.
+func Fig10Context(ctx context.Context, T, dt float64) (*Fig10Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if T <= 0 {
 		T = 20e-6
 	}
@@ -83,7 +95,7 @@ func Fig10(T, dt float64) (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	design, err := caseIVRDesign(cs)
+	design, err := caseIVRDesign(ctx, cs)
 	if err != nil {
 		return nil, err
 	}
@@ -98,6 +110,11 @@ func Fig10(T, dt float64) (*Fig10Result, error) {
 			return nil, err
 		}
 		for _, nIVR := range noiseConfigs {
+			// The per-cell transient sims don't take a context; checking
+			// between cells bounds the post-cancel latency to one cell.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			var nr *pds.NoiseResult
 			if nIVR == 0 {
 				nr, err = cs.System.SimulateOffChipVRM(bench, T, dt)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ivory/internal/core"
@@ -28,6 +29,12 @@ type Fig12Result struct {
 
 // Fig12 sweeps the area budget for the case-study operating point.
 func Fig12() (*Fig12Result, error) {
+	return Fig12Context(context.Background())
+}
+
+// Fig12Context is Fig12 with run control threaded into each per-budget
+// exploration.
+func Fig12Context(ctx context.Context) (*Fig12Result, error) {
 	cs, err := NewCaseSystem()
 	if err != nil {
 		return nil, err
@@ -36,8 +43,13 @@ func Fig12() (*Fig12Result, error) {
 	for _, areaMM2 := range []float64{2, 4, 6, 10, 14, 20, 28, 40} {
 		spec := cs.Spec
 		spec.AreaMax = areaMM2 * 1e-6
+		spec.Context = ctx
 		pt := Fig12Point{AreaMM2: areaMM2, EffSC: -1, EffBuck: -1, EffLDO: -1}
 		r, err := core.Explore(spec)
+		if err != nil && ctx != nil && ctx.Err() != nil {
+			// Cancellation, not an infeasible budget: stop the sweep.
+			return nil, ctx.Err()
+		}
 		if err == nil {
 			if c, ok := r.BestOfKind(core.KindSC); ok {
 				pt.EffSC = c.Metrics.Efficiency

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ivory/internal/buck"
@@ -70,12 +71,18 @@ func vrmEfficiency(vIn, vOut, pOut float64) (float64, error) {
 // re-run at a reduced span to extract guardbands; pass a pre-computed
 // result to reuse it.
 func Fig13(noise *Fig10Result) (*Fig13Result, error) {
+	return Fig13Context(context.Background(), noise)
+}
+
+// Fig13Context is Fig13 with run control threaded into the noise analysis
+// (when not pre-computed) and each margin-aware re-exploration.
+func Fig13Context(ctx context.Context, noise *Fig10Result) (*Fig13Result, error) {
 	cs, err := NewCaseSystem()
 	if err != nil {
 		return nil, err
 	}
 	if noise == nil {
-		noise, err = Fig10(20e-6, 1e-9)
+		noise, err = Fig10Context(ctx, 20e-6, 1e-9)
 		if err != nil {
 			return nil, err
 		}
@@ -110,6 +117,7 @@ func Fig13(noise *Fig10Result) (*Fig13Result, error) {
 			spec := cs.Spec
 			spec.VOut = vOp
 			spec.IMax = cs.System.TDPPerCore * float64(cs.System.Cores) / cs.System.VNominal
+			spec.Context = ctx
 			expRes, err := core.Explore(spec)
 			if err != nil {
 				return nil, err

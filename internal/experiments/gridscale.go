@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ivory/internal/grid"
@@ -30,6 +31,12 @@ type GridScaleResult struct {
 // GridScale runs the placement study on a 24x24-tile mesh of the
 // case-study die.
 func GridScale() (*GridScaleResult, error) {
+	return GridScaleContext(context.Background())
+}
+
+// GridScaleContext is GridScale with run control threaded into the
+// placement heuristic and the region resistance sweeps.
+func GridScaleContext(ctx context.Context) (*GridScaleResult, error) {
 	// 20 mm2 die -> ~4.5 mm on a side; 24 tiles of ~190 um at ~27 mohm/sq
 	// sheet and a handful of squares per tile link.
 	m, err := grid.NewMesh(24, 24, 0.05)
@@ -51,7 +58,7 @@ func GridScale() (*GridScaleResult, error) {
 	res := &GridScaleResult{MeshW: m.W, MeshH: m.H, RTile: m.RTile}
 	var r1 float64
 	for _, n := range []int{1, 2, 4, 8} {
-		taps, err := m.PlaceIVRs(n, centers)
+		taps, err := m.PlaceIVRsContext(ctx, n, centers)
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +68,7 @@ func GridScale() (*GridScaleResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := s.WorstCaseResistance(region)
+		r, err := s.WorstCaseResistanceContext(ctx, region)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -33,6 +34,15 @@ type VariationResult struct {
 
 // Variation runs the Monte-Carlo study.
 func Variation(samples int, sigma float64) (*VariationResult, error) {
+	return VariationContext(context.Background(), samples, sigma)
+}
+
+// VariationContext is Variation with run control: it cancels the baseline
+// exploration and is re-checked between Monte-Carlo samples.
+func VariationContext(ctx context.Context, samples int, sigma float64) (*VariationResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if samples <= 0 {
 		samples = 200
 	}
@@ -45,6 +55,7 @@ func Variation(samples int, sigma float64) (*VariationResult, error) {
 	}
 	spec := cs.Spec
 	spec.VOut = 0.9
+	spec.Context = ctx
 	res, err := core.Explore(spec)
 	if err != nil {
 		return nil, err
@@ -61,6 +72,9 @@ func Variation(samples int, sigma float64) (*VariationResult, error) {
 	var effs []float64
 	fails := 0
 	for k := 0; k < samples; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		node := perturbNode(baseNode, sigma, rng, k)
 		cfg := baseCfg
 		cfg.Node = node
@@ -151,11 +165,22 @@ type NodeSweepResult struct {
 
 // NodeSweep runs the per-node exploration.
 func NodeSweep() (*NodeSweepResult, error) {
+	return NodeSweepContext(context.Background())
+}
+
+// NodeSweepContext is NodeSweep with run control threaded into each
+// per-node exploration.
+func NodeSweepContext(ctx context.Context) (*NodeSweepResult, error) {
 	out := &NodeSweepResult{}
 	for _, name := range tech.Nodes() {
 		spec := core.CaseStudySpec(name)
+		spec.Context = ctx
 		row := NodeSweepRow{Node: name}
 		res, err := core.Explore(spec)
+		if err != nil && ctx != nil && ctx.Err() != nil {
+			// Cancellation, not an infeasible node: stop the sweep.
+			return nil, ctx.Err()
+		}
 		if err == nil {
 			best := res.Best
 			row.Kind = best.Kind.String()

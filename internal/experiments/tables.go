@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"ivory/internal/core"
@@ -72,9 +73,17 @@ func Table1() (string, error) {
 // Table2 runs the design-space exploration across 1/2/4 distributed IVRs
 // (paper Table 2).
 func Table2() (*core.DistributionTable, error) {
+	return Table2Context(context.Background())
+}
+
+// Table2Context is Table2 with run control threaded into every per-count
+// exploration of the distribution sweep.
+func Table2Context(ctx context.Context) (*core.DistributionTable, error) {
 	cs, err := NewCaseSystem()
 	if err != nil {
 		return nil, err
 	}
-	return core.ExploreDistribution(cs.Spec, []int{1, 2, 4})
+	spec := cs.Spec
+	spec.Context = ctx
+	return core.ExploreDistribution(spec, []int{1, 2, 4})
 }

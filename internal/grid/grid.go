@@ -13,6 +13,7 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -199,11 +200,18 @@ func (m *Mesh) IRDrop(taps []Point, cores []Point, currents []float64) ([]float6
 // WorstCaseResistance returns the largest effective resistance over the
 // given core sites.
 func (m *Mesh) WorstCaseResistance(taps, cores []Point) (float64, error) {
+	return m.WorstCaseResistanceContext(nil, taps, cores)
+}
+
+// WorstCaseResistanceContext is WorstCaseResistance with run control: a
+// cancelled ctx (nil selects the background context) stops the per-core
+// fan-out and returns ctx.Err().
+func (m *Mesh) WorstCaseResistanceContext(ctx context.Context, taps, cores []Point) (float64, error) {
 	s, err := m.NewSolver(taps)
 	if err != nil {
 		return 0, err
 	}
-	return s.WorstCaseResistance(cores)
+	return s.WorstCaseResistanceContext(ctx, cores)
 }
 
 // PlaceIVRs picks n tap sites minimizing the worst-case effective
@@ -211,6 +219,15 @@ func (m *Mesh) WorstCaseResistance(taps, cores []Point) (float64, error) {
 // over a candidate lattice followed by exact evaluation. It is a floorplan
 // heuristic, not an optimizer — good placements, deterministically.
 func (m *Mesh) PlaceIVRs(n int, cores []Point) ([]Point, error) {
+	return m.PlaceIVRsContext(nil, n, cores)
+}
+
+// PlaceIVRsContext is PlaceIVRs with run control: a cancelled ctx (nil
+// selects the background context) stops the candidate scoring fan-out
+// between solves and returns ctx.Err(). Uncancelled, the placement is
+// bit-identical to PlaceIVRs for every worker schedule — candidates are
+// reduced in scan order after the parallel scoring round.
+func (m *Mesh) PlaceIVRsContext(ctx context.Context, n int, cores []Point) ([]Point, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("grid: need at least one IVR")
 	}
@@ -266,7 +283,7 @@ func (m *Mesh) PlaceIVRs(n int, cores []Point) ([]Point, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		return s.worstMean(cores, 1)
+		return s.worstMean(ctx, cores, 1)
 	}
 	for len(taps) < n {
 		// Score every candidate concurrently, then reduce in index order so
@@ -277,7 +294,7 @@ func (m *Mesh) PlaceIVRs(n int, cores []Point) ([]Point, error) {
 			ok    bool
 		}
 		scores := make([]score, len(candidates))
-		parallel.For(len(candidates), 0, func(i int) {
+		if err := parallel.ForContext(ctx, len(candidates), 0, func(i int) {
 			cand := candidates[i]
 			if containsPoint(taps, cand) {
 				return
@@ -287,7 +304,9 @@ func (m *Mesh) PlaceIVRs(n int, cores []Point) ([]Point, error) {
 			trial[len(taps)] = cand
 			w, mn, err := evaluate(trial)
 			scores[i] = score{w: w, mn: mn, err: err, ok: true}
-		})
+		}); err != nil {
+			return nil, err
+		}
 		bestW, bestM := math.Inf(1), math.Inf(1)
 		var best Point
 		for i, sc := range scores {

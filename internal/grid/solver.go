@@ -1,7 +1,9 @@
 package grid
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"ivory/internal/numeric"
 	"ivory/internal/parallel"
@@ -15,6 +17,21 @@ const (
 	maxDirectBandwidth = 64
 	maxDirectEntries   = 1 << 21
 )
+
+// Package-wide solver telemetry: how many Solver contexts took the banded
+// Cholesky direct path vs the CG fallback. Cumulative; per-run consumers
+// (core.Explore's Stats) snapshot and diff.
+var (
+	solverCholesky atomic.Int64
+	solverCG       atomic.Int64
+)
+
+// SolverStats returns the cumulative count of solver contexts built on the
+// direct banded-Cholesky path and on the conjugate-gradient fallback.
+// Counters are shared across concurrent runs — telemetry, not accounting.
+func SolverStats() (cholesky, cg int64) {
+	return solverCholesky.Load(), solverCG.Load()
+}
 
 // Solver is a per-tap-set solving context. It assembles the grounded mesh
 // Laplacian once — reusing the mesh's cached tapless base, since regulator
@@ -63,6 +80,7 @@ func (m *Mesh) NewSolver(taps []Point) (*Solver, error) {
 			}
 			if chol, err := sb.Cholesky(); err == nil {
 				s.chol = chol
+				solverCholesky.Add(1)
 				return s, nil
 			}
 		}
@@ -75,6 +93,7 @@ func (m *Mesh) NewSolver(taps []Point) (*Solver, error) {
 		sm.AddDiag(m.idx(t), gTap)
 	}
 	s.sm = sm
+	solverCG.Add(1)
 	return s, nil
 }
 
@@ -152,7 +171,14 @@ func (s *Solver) IRDrop(cores []Point, currents []float64) ([]float64, error) {
 // WorstCaseResistance returns the largest effective resistance over the
 // given core sites, fanning the independent per-core solves across CPUs.
 func (s *Solver) WorstCaseResistance(cores []Point) (float64, error) {
-	worst, _, err := s.worstMean(cores, 0)
+	return s.WorstCaseResistanceContext(nil, cores)
+}
+
+// WorstCaseResistanceContext is WorstCaseResistance with run control: a
+// cancelled ctx (nil selects the background context) stops dispatching
+// per-core solves and returns ctx.Err() once in-flight solves drain.
+func (s *Solver) WorstCaseResistanceContext(ctx context.Context, cores []Point) (float64, error) {
+	worst, _, err := s.worstMean(ctx, cores, 0)
 	return worst, err
 }
 
@@ -162,15 +188,17 @@ func (s *Solver) WorstCaseResistance(cores []Point) (float64, error) {
 // (1 = inline, for callers that already parallelize one level up); the
 // reduction over the deterministic per-core results keeps the outcome
 // exact regardless of worker count.
-func (s *Solver) worstMean(cores []Point, workers int) (worst, mean float64, err error) {
+func (s *Solver) worstMean(ctx context.Context, cores []Point, workers int) (worst, mean float64, err error) {
 	if len(cores) == 0 {
 		return 0, 0, fmt.Errorf("grid: need at least one core site")
 	}
 	rs := make([]float64, len(cores))
 	errs := make([]error, len(cores))
-	parallel.For(len(cores), workers, func(i int) {
+	if err := parallel.ForContext(ctx, len(cores), workers, func(i int) {
 		rs[i], errs[i] = s.EffectiveResistance(cores[i])
-	})
+	}); err != nil {
+		return 0, 0, err
+	}
 	for i, e := range errs {
 		if e != nil {
 			return 0, 0, e

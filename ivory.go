@@ -35,6 +35,7 @@ import (
 	"ivory/internal/grid"
 	"ivory/internal/ivr"
 	"ivory/internal/ldo"
+	"ivory/internal/parallel"
 	"ivory/internal/pdn"
 	"ivory/internal/pds"
 	"ivory/internal/sc"
@@ -58,6 +59,17 @@ type (
 	ExplorationResult = core.Result
 	// DistributionTable is the paper's Table 2 output.
 	DistributionTable = core.DistributionTable
+	// ExploreStats is the run-telemetry record of one exploration: job and
+	// per-family accept/reject counts, topology-cache and grid-solver
+	// counters, wall time, and throughput. A snapshot is handed to
+	// Spec.Progress after every completed job and the final record is on
+	// ExplorationResult.Stats.
+	ExploreStats = core.Stats
+	// ExploreKindStats is one converter family's accept/reject tally.
+	ExploreKindStats = core.KindStats
+	// PanicError wraps a panic that escaped an exploration job; it is
+	// re-raised on the caller's goroutine tagged with the job index.
+	PanicError = parallel.PanicError
 )
 
 // Objective and kind constants.
