@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-full experiments examples clean
+.PHONY: all build test vet lint race bench bench-full benchdiff experiments examples clean
 
 all: build vet lint test
 
@@ -26,9 +26,20 @@ race:
 
 # Benchmark smoke run over the root harness (Explore serial/parallel,
 # PlaceIVRs, per-figure regeneration) — one iteration each, machine-readable
-# output in BENCH_explore.json. Non-gating in CI.
+# output in BENCH_explore.json — plus a focused pass over the transient
+# case-study engine (Fig 10/11/13, grid scaling) in BENCH_transient.json.
+# Non-gating in CI.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -json . | tee BENCH_explore.json
+	$(GO) test -run '^$$' -bench 'Fig10|Fig11|Fig13|GridScale' -benchtime=1x -benchmem -json . | tee BENCH_transient.json
+
+# Old-vs-new comparison of the shared benchmarks in two `make bench` outputs
+# (override OLD/NEW to compare arbitrary runs). Informational: the target
+# never fails on a regression.
+OLD ?= BENCH_baseline.json
+NEW ?= BENCH_explore.json
+benchdiff:
+	$(GO) run ./cmd/ivory-benchdiff $(OLD) $(NEW)
 
 # Full benchmark sweep over every package (raise -benchtime for stable
 # timings).

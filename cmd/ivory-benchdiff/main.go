@@ -1,0 +1,177 @@
+// Command ivory-benchdiff compares two benchmark result files and prints an
+// old-vs-new table of time and allocation deltas for the benchmarks the two
+// runs share.
+//
+// Usage:
+//
+//	ivory-benchdiff [-fail-over ratio] old.json new.json
+//
+// Inputs are `go test -json` streams (the BENCH_*.json files `make bench`
+// writes); plain `go test -bench` text output is accepted too. The exit code
+// is 0 regardless of deltas unless -fail-over is set: then any shared
+// benchmark whose ns/op grew by more than the given factor fails the run
+// (CI keeps the step non-gating via continue-on-error either way).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's measurements.
+type result struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+	hasMem      bool
+}
+
+// event is the subset of the test2json record benchdiff needs.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// parseFile reads a go test -json stream (or raw bench text) and returns
+// benchmark name -> result.
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }() // read-only; nothing to report
+	// Reassemble the output stream first: test2json splits one benchmark's
+	// result line across multiple Output events (the name+tab and the
+	// measurements arrive separately).
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev event
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action == "output" {
+					text.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		text.WriteString(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]result{}
+	for _, line := range strings.Split(text.String(), "\n") {
+		name, r, ok := parseBenchLine(line)
+		if ok {
+			out[name] = r
+		}
+	}
+	return out, nil
+}
+
+// parseBenchLine parses "BenchmarkName-8  1  123 ns/op  45 B/op  6 allocs/op"
+// (custom ReportMetric columns are skipped).
+func parseBenchLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	name := fields[0]
+	// Strip the GOMAXPROCS suffix so runs on different machines still match.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var r result
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			r.BytesPerOp = v
+			r.hasMem = true
+		case "allocs/op":
+			r.AllocsPerOp = v
+			r.hasMem = true
+		}
+	}
+	return name, r, seen
+}
+
+func ratio(old, new float64) string {
+	if old <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", old/new)
+}
+
+func main() {
+	failOver := flag.Float64("fail-over", 0, "exit nonzero when any shared benchmark's ns/op grew by more than this factor (0 disables)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ivory-benchdiff [-fail-over ratio] old.json new.json")
+		os.Exit(2)
+	}
+	oldRes, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivory-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRes, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ivory-benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	var shared []string
+	for name := range newRes {
+		if _, ok := oldRes[name]; ok {
+			shared = append(shared, name)
+		}
+	}
+	if len(shared) == 0 {
+		fmt.Fprintf(os.Stderr, "ivory-benchdiff: no shared benchmarks between %s (%d) and %s (%d)\n",
+			flag.Arg(0), len(oldRes), flag.Arg(1), len(newRes))
+		os.Exit(2)
+	}
+	sort.Strings(shared)
+	fmt.Printf("%-36s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs", "ratio")
+	regressed := 0
+	for _, name := range shared {
+		o, n := oldRes[name], newRes[name]
+		allocCols := [3]string{"-", "-", "-"}
+		if o.hasMem && n.hasMem {
+			allocCols[0] = fmt.Sprintf("%.0f", o.AllocsPerOp)
+			allocCols[1] = fmt.Sprintf("%.0f", n.AllocsPerOp)
+			allocCols[2] = ratio(o.AllocsPerOp, n.AllocsPerOp)
+		}
+		fmt.Printf("%-36s %14.0f %14.0f %8s %12s %12s %8s\n",
+			strings.TrimPrefix(name, "Benchmark"), o.NsPerOp, n.NsPerOp, ratio(o.NsPerOp, n.NsPerOp),
+			allocCols[0], allocCols[1], allocCols[2])
+		if *failOver > 0 && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(*failOver) {
+			regressed++
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "ivory-benchdiff: %d of %d shared benchmarks regressed beyond %.2fx\n",
+			regressed, len(shared), *failOver)
+		os.Exit(1)
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	ivory-exp [-outdir dir] [-timeout 10m] [-progress] <experiment> [...]
+//	ivory-exp [-outdir dir] [-timeout 10m] [-progress] [-workers n] <experiment> [...]
 //	ivory-exp all
 //
 // Experiments: fig4, fig6, fig7, fig8, fig9, table1, table2, fig10, fig11,
@@ -42,6 +42,10 @@ type outcome struct {
 type noiseFn func(ctx context.Context) (*experiments.Fig10Result, error)
 
 type runner func(ctx context.Context, noise noiseFn) (outcome, error)
+
+// engineOpt carries the transient-engine knobs (-workers, -progress) into
+// the runners that fan simulation cells out.
+var engineOpt experiments.TransientOptions
 
 var runners = map[string]runner{
 	"fig4": func(context.Context, noiseFn) (outcome, error) {
@@ -106,7 +110,7 @@ var runners = map[string]runner{
 		return outcome{text: r.FormatFig11()}, nil
 	},
 	"fig12": func(ctx context.Context, _ noiseFn) (outcome, error) {
-		r, err := experiments.Fig12Context(ctx)
+		r, err := experiments.Fig12Run(ctx, engineOpt)
 		if err != nil {
 			return outcome{}, err
 		}
@@ -117,14 +121,14 @@ var runners = map[string]runner{
 		if err != nil {
 			return outcome{}, err
 		}
-		r, err := experiments.Fig13Context(ctx, n)
+		r, err := experiments.Fig13Run(ctx, n, engineOpt)
 		if err != nil {
 			return outcome{}, err
 		}
 		return outcome{r.Format(), r}, nil
 	},
 	"ablations": func(ctx context.Context, _ noiseFn) (outcome, error) {
-		r, err := experiments.AblationsContext(ctx)
+		r, err := experiments.AblationsRun(ctx, engineOpt)
 		if err != nil {
 			return outcome{}, err
 		}
@@ -152,7 +156,7 @@ var runners = map[string]runner{
 		return outcome{r.Format(), r}, nil
 	},
 	"gridscale": func(ctx context.Context, _ noiseFn) (outcome, error) {
-		r, err := experiments.GridScaleContext(ctx)
+		r, err := experiments.GridScaleRun(ctx, engineOpt)
 		if err != nil {
 			return outcome{}, err
 		}
@@ -190,11 +194,20 @@ var order = []string{
 func main() {
 	outdir := flag.String("outdir", "", "write plot-ready CSV data files to this directory")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
-	progress := flag.Bool("progress", false, "print per-experiment progress to stderr")
+	progress := flag.Bool("progress", false, "print per-experiment and per-cell progress to stderr")
+	workers := flag.Int("workers", 0, "simulation-cell fan-out width (0 = all CPUs, 1 = serial)")
 	flag.Parse()
+	engineOpt.Workers = *workers
+	if *progress {
+		// Per-cell telemetry from the transient engine: completed cells,
+		// trace-cache effectiveness, and the explore/sim wall-time split.
+		engineOpt.Progress = func(s experiments.TransientStats) {
+			fmt.Fprintf(os.Stderr, "  engine: %s\n", s)
+		}
+	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintf(os.Stderr, "usage: ivory-exp [-outdir dir] [-timeout d] [-progress] <experiment|all> ...\nexperiments: %v\n", order)
+		fmt.Fprintf(os.Stderr, "usage: ivory-exp [-outdir dir] [-timeout d] [-progress] [-workers n] <experiment|all> ...\nexperiments: %v\n", order)
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
@@ -225,9 +238,12 @@ func main() {
 		if cached != nil {
 			return cached, nil
 		}
-		r, err := experiments.Fig10Context(ctx, 0, 0)
+		r, err := experiments.Fig10Run(ctx, engineOpt)
 		if err != nil {
 			return nil, err
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "  noise analysis done: %s\n", r.RunStats)
 		}
 		cached = r
 		return cached, nil

@@ -1,12 +1,18 @@
 package dynamic
 
 import (
+	"context"
 	"fmt"
-
 	"math"
 
 	"ivory/internal/sc"
 )
+
+// runCancelStride is the number of in-cycle steps between context polls in
+// the simulator loops: frequent enough that cancellation lands mid-waveform
+// (a stride is well under a millisecond of wall time), rare enough that the
+// poll never shows in profiles.
+const runCancelStride = 4096
 
 // SCParams is the lumped dynamic model of a switched-capacitor converter:
 // an ideal Ratio:1 transformer feeding the output through a charge-transfer
@@ -113,6 +119,15 @@ func (s *SCSimulator) Validate() error {
 // with load current iLoad(t) and reference vRef(t) (fast DVFS is a vRef
 // schedule). The output starts at vRef(0).
 func (s *SCSimulator) Run(iLoad, vRef Signal, T, dt float64) (*Trace, error) {
+	return s.RunInto(context.Background(), nil, iLoad, vRef, T, dt)
+}
+
+// RunInto is Run with run control and buffer reuse: ctx is polled every
+// runCancelStride in-cycle steps so a cancelled case-study cell stops
+// mid-waveform, and tr (may be nil) is reset and refilled, recycling its
+// Times/V storage across simulations. The returned trace is tr when one was
+// provided.
+func (s *SCSimulator) RunInto(ctx context.Context, tr *Trace, iLoad, vRef Signal, T, dt float64) (*Trace, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -141,15 +156,17 @@ func (s *SCSimulator) Run(iLoad, vRef Signal, T, dt float64) (*Trace, error) {
 	expFactor := 1 - math.Exp(-1/(p.FClk*2*p.REq*p.CEq))
 
 	steps := int(math.Ceil(T / dt))
-	tr := &Trace{
-		Times: make([]float64, 0, steps+1),
-		V:     make([]float64, 0, steps+1),
-	}
+	tr = prepareTrace(tr, steps+1)
 	v := vRef(0)
 	tr.Times = append(tr.Times, 0)
 	tr.V = append(tr.V, v)
 	nextTick := tickPeriod
 	for k := 1; k <= steps; k++ {
+		if k%runCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t := float64(k) * dt
 		// In-cycle: the load discharges the output-facing capacitance.
 		v -= iLoad(t) * dt / p.COut
@@ -192,6 +209,11 @@ func (s *SCSimulator) Run(iLoad, vRef Signal, T, dt float64) (*Trace, error) {
 // it). Zero gains select defaults scaled to the converter: full-scale
 // frequency at 50 mV of error, integral closing over ~2 µs.
 func (s *SCSimulator) RunPI(iLoad, vRef Signal, T, dt float64, kp, ki float64) (*Trace, error) {
+	return s.RunPIInto(context.Background(), nil, iLoad, vRef, T, dt, kp, ki)
+}
+
+// RunPIInto is RunPI with the same run control and buffer reuse as RunInto.
+func (s *SCSimulator) RunPIInto(ctx context.Context, tr *Trace, iLoad, vRef Signal, T, dt float64, kp, ki float64) (*Trace, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -213,10 +235,7 @@ func (s *SCSimulator) RunPI(iLoad, vRef Signal, T, dt float64, kp, ki float64) (
 	fMin := p.FClk / 1e3
 	ceqSlice := p.CEq / float64(n)
 	steps := int(math.Ceil(T / dt))
-	tr := &Trace{
-		Times: make([]float64, 0, steps+1),
-		V:     make([]float64, 0, steps+1),
-	}
+	tr = prepareTrace(tr, steps+1)
 	v := vRef(0)
 	integ := 0.0
 	// Anti-windup bound: the integral term alone may command at most the
@@ -231,6 +250,11 @@ func (s *SCSimulator) RunPI(iLoad, vRef Signal, T, dt float64, kp, ki float64) (
 	phase := 0.0
 	var fswSum float64
 	for k := 1; k <= steps; k++ {
+		if k%runCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t := float64(k) * dt
 		v -= iLoad(t) * dt / p.COut
 		e := vRef(t) - v
@@ -279,6 +303,12 @@ func (s *SCSimulator) RunPI(iLoad, vRef Signal, T, dt float64, kp, ki float64) (
 // with a fixed switching frequency — the variant validated against SPICE in
 // Fig. 9(a).
 func (s *SCSimulator) CycleByCycle(iLoad Signal, fsw, T float64) (*Trace, error) {
+	return s.CycleByCycleInto(context.Background(), nil, iLoad, fsw, T)
+}
+
+// CycleByCycleInto is CycleByCycle with the same run control and buffer
+// reuse as RunInto.
+func (s *SCSimulator) CycleByCycleInto(ctx context.Context, tr *Trace, iLoad Signal, fsw, T float64) (*Trace, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -292,11 +322,16 @@ func (s *SCSimulator) CycleByCycle(iLoad Signal, fsw, T float64) (*Trace, error)
 	}
 	exp := 1 - math.Exp(-1/(fsw*2*p.REq*p.CEq))
 	steps := int(math.Ceil(T * fsw))
-	tr := &Trace{Times: make([]float64, 0, steps+1), V: make([]float64, 0, steps+1)}
+	tr = prepareTrace(tr, steps+1)
 	v := p.Ratio * p.VIn
 	tr.Times = append(tr.Times, 0)
 	tr.V = append(tr.V, v)
 	for k := 1; k <= steps; k++ {
+		if k%runCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t := float64(k) * period
 		// Paper Eq. 2.
 		v = v + (-iLoad(t)*period+(p.Ratio*s.vin(t)-v)*p.CEq*exp)/p.COut

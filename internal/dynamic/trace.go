@@ -74,6 +74,31 @@ type Trace struct {
 	AvgFSw float64
 }
 
+// Reset clears the trace for reuse, keeping the Times/V capacity so a hot
+// caller can recycle one Trace across many simulations.
+func (tr *Trace) Reset() {
+	tr.Times = tr.Times[:0]
+	tr.V = tr.V[:0]
+	tr.SwitchEvents = 0
+	tr.AvgFSw = 0
+}
+
+// prepareTrace resets tr (allocating one when nil) and ensures capacity for
+// the requested number of samples, so the simulator append loops never grow.
+func prepareTrace(tr *Trace, samples int) *Trace {
+	if tr == nil {
+		tr = &Trace{}
+	}
+	tr.Reset()
+	if cap(tr.Times) < samples {
+		tr.Times = make([]float64, 0, samples)
+	}
+	if cap(tr.V) < samples {
+		tr.V = make([]float64, 0, samples)
+	}
+	return tr
+}
+
 // Finite verifies every sample of the trace is finite. The simulators
 // call it before returning so that an unstable integration (NaN/Inf
 // creeping into the waveform) surfaces as an error rather than corrupting

@@ -3,9 +3,11 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"ivory/internal/core"
 	"ivory/internal/numeric"
+	"ivory/internal/parallel"
 	"ivory/internal/pds"
 	"ivory/internal/sc"
 	"ivory/internal/workload"
@@ -49,6 +51,8 @@ type Fig10Result struct {
 	NoiseByConfig map[string]float64
 	// DroopByConfig aggregates the worst droop per config (the guardband).
 	DroopByConfig map[string]float64
+	// RunStats is the engine telemetry of the run that produced the result.
+	RunStats TransientStats
 }
 
 // caseIVRDesign builds the chip-level SC converter the static exploration
@@ -80,11 +84,42 @@ func Fig10(T, dt float64) (*Fig10Result, error) {
 }
 
 // Fig10Context is Fig10 with run control: the context cancels the
-// underlying exploration and is re-checked between simulation cells.
+// underlying exploration and every in-flight simulation cell (the poll sits
+// inside the transient integration loops, so cancellation does not wait for
+// a cell to finish).
 func Fig10Context(ctx context.Context, T, dt float64) (*Fig10Result, error) {
+	return Fig10Run(ctx, TransientOptions{T: T, Dt: dt})
+}
+
+// fig10Cell names one benchmark × configuration simulation.
+type fig10Cell struct {
+	bench string
+	nIVR  int
+}
+
+// fig10Cells enumerates the benchmark × configuration grid in the fixed
+// order the serial loop used; the parallel merge walks the same order.
+func fig10Cells() []fig10Cell {
+	names := workload.Names()
+	cells := make([]fig10Cell, 0, len(names)*len(noiseConfigs))
+	for _, b := range names {
+		for _, n := range noiseConfigs {
+			cells = append(cells, fig10Cell{bench: b, nIVR: n})
+		}
+	}
+	return cells
+}
+
+// Fig10Run is the engine entry point: the benchmark × configuration cells
+// fan out over opt.Workers goroutines, each simulating independently into
+// pooled scratch, and the merge walks the enumeration order — so the result
+// is bit-identical to the serial path for every worker count. Only CFD
+// cells retain their waveforms (Fig. 11); the rest carry statistics alone.
+func Fig10Run(ctx context.Context, opt TransientOptions) (*Fig10Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	T, dt := opt.T, opt.Dt
 	if T <= 0 {
 		T = 20e-6
 	}
@@ -95,57 +130,78 @@ func Fig10Context(ctx context.Context, T, dt float64) (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	exploreStart := time.Now()
 	design, err := caseIVRDesign(ctx, cs)
 	if err != nil {
 		return nil, err
+	}
+	cells := fig10Cells()
+	tracker := newTransientTracker(len(cells), time.Since(exploreStart), opt.Progress)
+	results := make([]*pds.NoiseResult, len(cells))
+	errs := make([]error, len(cells))
+	// A failing cell cancels the run context so sibling cells stop instead
+	// of burning a full simulation each.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ferr := parallel.ForContext(runCtx, len(cells), opt.Workers, func(i int) {
+		c := cells[i]
+		bench, err := workload.Get(c.bench)
+		if err != nil {
+			errs[i] = err
+			cancel()
+			return
+		}
+		scr := scratchPool.Get().(*pds.Scratch)
+		defer scratchPool.Put(scr)
+		simOpt := pds.SimOptions{KeepTrace: c.bench == "CFD", Scratch: scr}
+		var nr *pds.NoiseResult
+		if c.nIVR == 0 {
+			nr, err = cs.System.SimulateOffChipVRMContext(runCtx, bench, T, dt, simOpt)
+		} else {
+			nr, err = cs.System.SimulateIVRContext(runCtx, design, c.nIVR, bench, T, dt, simOpt)
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: %s / %s: %w", c.bench, configName(c.nIVR), err)
+			cancel()
+			return
+		}
+		results[i] = nr
+		tracker.cellDone()
+	})
+	if err := firstCellError(errs); err != nil {
+		return nil, err
+	}
+	if ferr != nil {
+		return nil, ferr
 	}
 	res := &Fig10Result{
 		CFDTraces:     map[string][]float64{},
 		NoiseByConfig: map[string]float64{},
 		DroopByConfig: map[string]float64{},
 	}
-	for _, benchName := range workload.Names() {
-		bench, err := workload.Get(benchName)
-		if err != nil {
-			return nil, err
+	for i, nr := range results {
+		c := cells[i]
+		res.Cells = append(res.Cells, Fig10Cell{
+			Benchmark:  c.bench,
+			Config:     nr.Config,
+			Stats:      nr.Stats(),
+			NoiseVpp:   nr.NoiseVpp,
+			WorstDroop: nr.WorstDroop,
+		})
+		if nr.NoiseVpp > res.NoiseByConfig[nr.Config] {
+			res.NoiseByConfig[nr.Config] = nr.NoiseVpp
 		}
-		for _, nIVR := range noiseConfigs {
-			// The per-cell transient sims don't take a context; checking
-			// between cells bounds the post-cancel latency to one cell.
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		if nr.WorstDroop > res.DroopByConfig[nr.Config] {
+			res.DroopByConfig[nr.Config] = nr.WorstDroop
+		}
+		if c.bench == "CFD" {
+			if res.CFDTimes == nil {
+				res.CFDTimes = nr.Times
 			}
-			var nr *pds.NoiseResult
-			if nIVR == 0 {
-				nr, err = cs.System.SimulateOffChipVRM(bench, T, dt)
-			} else {
-				nr, err = cs.System.SimulateIVR(design, nIVR, bench, T, dt)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s / %s: %w", benchName, configName(nIVR), err)
-			}
-			cell := Fig10Cell{
-				Benchmark:  benchName,
-				Config:     nr.Config,
-				Stats:      nr.Stats(),
-				NoiseVpp:   nr.NoiseVpp,
-				WorstDroop: nr.WorstDroop,
-			}
-			res.Cells = append(res.Cells, cell)
-			if nr.NoiseVpp > res.NoiseByConfig[nr.Config] {
-				res.NoiseByConfig[nr.Config] = nr.NoiseVpp
-			}
-			if nr.WorstDroop > res.DroopByConfig[nr.Config] {
-				res.DroopByConfig[nr.Config] = nr.WorstDroop
-			}
-			if benchName == "CFD" {
-				if res.CFDTimes == nil {
-					res.CFDTimes = nr.Times
-				}
-				res.CFDTraces[nr.Config] = nr.VCore
-			}
+			res.CFDTraces[nr.Config] = nr.VCore
 		}
 	}
+	res.RunStats = tracker.finalize(false)
 	return res, nil
 }
 

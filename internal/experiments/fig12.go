@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ivory/internal/core"
+	"ivory/internal/parallel"
 )
 
 // Fig12Point is one area budget's best-efficiency outcome per family.
@@ -35,22 +36,32 @@ func Fig12() (*Fig12Result, error) {
 // Fig12Context is Fig12 with run control threaded into each per-budget
 // exploration.
 func Fig12Context(ctx context.Context) (*Fig12Result, error) {
+	return Fig12Run(ctx, TransientOptions{})
+}
+
+// Fig12Run fans the per-budget explorations out over opt.Workers; the
+// crossover scan runs on the merged, budget-ordered points, so the result
+// matches the serial sweep for every worker count.
+func Fig12Run(ctx context.Context, opt TransientOptions) (*Fig12Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cs, err := NewCaseSystem()
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig12Result{}
-	for _, areaMM2 := range []float64{2, 4, 6, 10, 14, 20, 28, 40} {
+	budgets := []float64{2, 4, 6, 10, 14, 20, 28, 40}
+	points := make([]Fig12Point, len(budgets))
+	ferr := parallel.ForContext(ctx, len(budgets), opt.Workers, func(i int) {
+		areaMM2 := budgets[i]
 		spec := cs.Spec
 		spec.AreaMax = areaMM2 * 1e-6
 		spec.Context = ctx
 		pt := Fig12Point{AreaMM2: areaMM2, EffSC: -1, EffBuck: -1, EffLDO: -1}
-		r, err := core.Explore(spec)
-		if err != nil && ctx != nil && ctx.Err() != nil {
-			// Cancellation, not an infeasible budget: stop the sweep.
-			return nil, ctx.Err()
-		}
-		if err == nil {
+		// An exploration error at one budget means the budget is infeasible
+		// (unless the whole run was cancelled, which the post-merge check
+		// below surfaces): the point stays at its "-" sentinel values.
+		if r, err := core.Explore(spec); err == nil {
 			if c, ok := r.BestOfKind(core.KindSC); ok {
 				pt.EffSC = c.Metrics.Efficiency
 			}
@@ -61,10 +72,20 @@ func Fig12Context(ctx context.Context) (*Fig12Result, error) {
 				pt.EffLDO = c.Metrics.Efficiency
 			}
 		}
+		points[i] = pt
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancellation, not an infeasible budget: discard the partial sweep.
+		return nil, err
+	}
+	res := &Fig12Result{Points: points}
+	for _, pt := range points {
 		if res.CrossoverMM2 == 0 && pt.EffSC > pt.EffBuck && pt.EffSC > 0 && pt.EffBuck > 0 {
-			res.CrossoverMM2 = areaMM2
+			res.CrossoverMM2 = pt.AreaMM2
 		}
-		res.Points = append(res.Points, pt)
 	}
 	return res, nil
 }

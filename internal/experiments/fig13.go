@@ -6,6 +6,7 @@ import (
 
 	"ivory/internal/buck"
 	"ivory/internal/core"
+	"ivory/internal/parallel"
 	"ivory/internal/pds"
 	"ivory/internal/tech"
 )
@@ -77,65 +78,99 @@ func Fig13(noise *Fig10Result) (*Fig13Result, error) {
 // Fig13Context is Fig13 with run control threaded into the noise analysis
 // (when not pre-computed) and each margin-aware re-exploration.
 func Fig13Context(ctx context.Context, noise *Fig10Result) (*Fig13Result, error) {
+	return Fig13Run(ctx, noise, TransientOptions{})
+}
+
+// Fig13Run fans the per-configuration work — the off-chip VRM sizing and
+// each margin-aware IVR re-exploration — out over opt.Workers, then merges
+// breakdowns in configuration order, so results match the serial path
+// bit-for-bit at every worker count.
+func Fig13Run(ctx context.Context, noise *Fig10Result, opt TransientOptions) (*Fig13Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cs, err := NewCaseSystem()
 	if err != nil {
 		return nil, err
 	}
 	if noise == nil {
-		noise, err = Fig10Context(ctx, 20e-6, 1e-9)
+		noise, err = Fig10Run(ctx, opt)
 		if err != nil {
 			return nil, err
 		}
 	}
 	res := &Fig13Result{Margins: map[string]float64{}}
 	pCore := cs.System.TDPPerCore * float64(cs.System.Cores)
-	var offEff float64
-	bestEff := -1.0
-	for _, nIVR := range noiseConfigs {
+	// Phase 1: per-configuration conversion parameters, fanned out. Each
+	// slot is owned by its configuration index; margins are recorded in the
+	// merge below to keep map writes single-goroutine.
+	params := make([]pds.BreakdownParams, len(noiseConfigs))
+	errs := make([]error, len(noiseConfigs))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ferr := parallel.ForContext(runCtx, len(noiseConfigs), opt.Workers, func(i int) {
+		nIVR := noiseConfigs[i]
 		name := configName(nIVR)
 		margin := noise.DroopByConfig[name]
 		if margin < 0 {
 			margin = 0
 		}
-		res.Margins[name] = margin
-		var params pds.BreakdownParams
 		if nIVR == 0 {
 			// The board VRM must produce the core voltage plus margin.
 			vrmEff, err := vrmEfficiency(cs.System.VSource, cs.System.VNominal+margin, pCore)
 			if err != nil {
-				return nil, err
+				errs[i] = err
+				cancel()
+				return
 			}
-			params = pds.BreakdownParams{
+			params[i] = pds.BreakdownParams{
 				Config: name, Margin: margin,
 				VRMEfficiency: vrmEff, NumIVRs: 0,
 			}
-		} else {
-			// Re-explore the IVR at its actual regulated level (nominal
-			// plus this configuration's own margin): the margin-aware
-			// co-optimization the paper's §5.4 describes.
-			vOp := cs.System.VNominal + margin
-			spec := cs.Spec
-			spec.VOut = vOp
-			spec.IMax = cs.System.TDPPerCore * float64(cs.System.Cores) / cs.System.VNominal
-			spec.Context = ctx
-			expRes, err := core.Explore(spec)
-			if err != nil {
-				return nil, err
-			}
-			cand, ok := expRes.BestOfKind(core.KindSC)
-			if !ok {
-				return nil, fmt.Errorf("experiments: no SC design at V_op %.3f", vOp)
-			}
-			params = pds.BreakdownParams{
-				Config: name, Margin: margin,
-				IVREfficiency: cand.Metrics.Efficiency,
-				// The board rail reaches the IVRs through the PDN with only
-				// light conditioning (3.3 V pass-through).
-				VRMEfficiency: 0.97,
-				NumIVRs:       nIVR,
-			}
+			return
 		}
-		b, err := cs.System.PowerBreakdown(params)
+		// Re-explore the IVR at its actual regulated level (nominal plus
+		// this configuration's own margin): the margin-aware
+		// co-optimization the paper's §5.4 describes.
+		vOp := cs.System.VNominal + margin
+		spec := cs.Spec
+		spec.VOut = vOp
+		spec.IMax = cs.System.TDPPerCore * float64(cs.System.Cores) / cs.System.VNominal
+		spec.Context = runCtx
+		expRes, err := core.Explore(spec)
+		if err != nil {
+			errs[i] = err
+			cancel()
+			return
+		}
+		cand, ok := expRes.BestOfKind(core.KindSC)
+		if !ok {
+			errs[i] = fmt.Errorf("experiments: no SC design at V_op %.3f", vOp)
+			cancel()
+			return
+		}
+		params[i] = pds.BreakdownParams{
+			Config: name, Margin: margin,
+			IVREfficiency: cand.Metrics.Efficiency,
+			// The board rail reaches the IVRs through the PDN with only
+			// light conditioning (3.3 V pass-through).
+			VRMEfficiency: 0.97,
+			NumIVRs:       nIVR,
+		}
+	})
+	if err := firstCellError(errs); err != nil {
+		return nil, err
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	// Phase 2: breakdowns and aggregates, in enumeration order.
+	var offEff float64
+	bestEff := -1.0
+	for i, nIVR := range noiseConfigs {
+		name := configName(nIVR)
+		res.Margins[name] = params[i].Margin
+		b, err := cs.System.PowerBreakdown(params[i])
 		if err != nil {
 			return nil, err
 		}

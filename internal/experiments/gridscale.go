@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ivory/internal/grid"
+	"ivory/internal/parallel"
 )
 
 // GridScaleRow is one distribution count's geometric grid analysis.
@@ -37,6 +38,18 @@ func GridScale() (*GridScaleResult, error) {
 // GridScaleContext is GridScale with run control threaded into the
 // placement heuristic and the region resistance sweeps.
 func GridScaleContext(ctx context.Context) (*GridScaleResult, error) {
+	return GridScaleRun(ctx, TransientOptions{})
+}
+
+// GridScaleRun fans the per-distribution-count analyses (placement, solver
+// factorization, region sweep) out over opt.Workers. The Ratio column needs
+// the centralized row as its reference, so ratios are derived after the
+// deterministic per-index merge — results are identical for every worker
+// count.
+func GridScaleRun(ctx context.Context, opt TransientOptions) (*GridScaleResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// 20 mm2 die -> ~4.5 mm on a side; 24 tiles of ~190 um at ~27 mohm/sq
 	// sheet and a handful of squares per tile link.
 	m, err := grid.NewMesh(24, 24, 0.05)
@@ -56,31 +69,48 @@ func GridScaleContext(ctx context.Context) (*GridScaleResult, error) {
 		}
 	}
 	res := &GridScaleResult{MeshW: m.W, MeshH: m.H, RTile: m.RTile}
-	var r1 float64
-	for _, n := range []int{1, 2, 4, 8} {
-		taps, err := m.PlaceIVRsContext(ctx, n, centers)
+	counts := []int{1, 2, 4, 8}
+	rows := make([]GridScaleRow, len(counts))
+	errs := make([]error, len(counts))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ferr := parallel.ForContext(runCtx, len(counts), opt.Workers, func(i int) {
+		n := counts[i]
+		taps, err := m.PlaceIVRsContext(runCtx, n, centers)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			cancel()
+			return
 		}
 		// One solver context per tap set: the Laplacian is factored once and
 		// reused for every per-tile solve in the region sweep.
 		s, err := m.NewSolver(taps)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			cancel()
+			return
 		}
-		r, err := s.WorstCaseResistanceContext(ctx, region)
+		r, err := s.WorstCaseResistanceContext(runCtx, region)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			cancel()
+			return
 		}
-		if n == 1 {
-			r1 = r
-		}
-		row := GridScaleRow{N: n, Taps: taps, REff: r, InvN: 1 / float64(n)}
-		if r1 > 0 {
-			row.Ratio = r / r1
-		}
-		res.Rows = append(res.Rows, row)
+		rows[i] = GridScaleRow{N: n, Taps: taps, REff: r, InvN: 1 / float64(n)}
+	})
+	if err := firstCellError(errs); err != nil {
+		return nil, err
 	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	r1 := rows[0].REff
+	for i := range rows {
+		if r1 > 0 {
+			rows[i].Ratio = rows[i].REff / r1
+		}
+	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -91,19 +91,28 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 
 // MulVec returns the matrix-vector product m*x.
 func (m *Matrix) MulVec(x []float64) []float64 {
+	return m.MulVecInto(make([]float64, m.Rows), x)
+}
+
+// MulVecInto computes m*x into dst (len m.Rows) and returns dst. dst must
+// not alias x. It allocates nothing, which makes it the right call inside
+// per-step simulation loops.
+func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
 	if m.Cols != len(x) {
 		panic(fmt.Sprintf("numeric: dimension mismatch %dx%d * vec(%d)", m.Rows, m.Cols, len(x)))
 	}
-	out := make([]float64, m.Rows)
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("numeric: MulVecInto dst length %d, want %d", len(dst), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		s := 0.0
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // Transpose returns m^T.
@@ -196,11 +205,19 @@ func Factorize(a *Matrix) (*LU, error) {
 
 // Solve solves A*x = b using the factorization. b is not modified.
 func (f *LU) Solve(b []float64) []float64 {
+	return f.SolveInto(make([]float64, f.n), b)
+}
+
+// SolveInto solves A*x = b into x (len n) and returns x. b is not modified;
+// x must not alias b. It allocates nothing.
+func (f *LU) SolveInto(x, b []float64) []float64 {
 	if len(b) != f.n {
 		panic("numeric: rhs length mismatch in LU.Solve")
 	}
+	if len(x) != f.n {
+		panic("numeric: solution length mismatch in LU.SolveInto")
+	}
 	n := f.n
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.perm[i]]
 	}

@@ -3,9 +3,16 @@ package numeric
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
+
+// bitsDiffer reports exact (bit-level) inequality — the selection-based
+// quantiles must reproduce the sort-based ones exactly, not approximately.
+func bitsDiffer(a, b float64) bool {
+	return math.Float64bits(a) != math.Float64bits(b)
+}
 
 func TestSummarizeKnown(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3, 4, 5})
@@ -133,5 +140,166 @@ func TestGoldenSection(t *testing.T) {
 	xM := GoldenSectionMax(func(x float64) float64 { return -(x - 4) * (x - 4) }, 0, 10, 1e-9)
 	if math.Abs(xM-4) > 1e-6 {
 		t.Errorf("GoldenSectionMax = %v", xM)
+	}
+}
+
+// sortedSummary is the pre-selection reference implementation: full sort,
+// then quantile interpolation on the sorted data. SummarizeInPlace must
+// reproduce its order statistics exactly.
+func sortedSummary(xs []float64) Summary {
+	n := len(xs)
+	if n == 0 {
+		return Summary{}
+	}
+	s := make([]float64, n)
+	copy(s, xs)
+	sort.Float64s(s)
+	out := Summary{
+		N:      n,
+		Min:    s[0],
+		Max:    s[n-1],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+	}
+	iqr := out.Q3 - out.Q1
+	lo, hi := out.Q1-1.5*iqr, out.Q3+1.5*iqr
+	out.WhiskerLo, out.WhiskerHi = out.Max, out.Min
+	for _, v := range s {
+		if v >= lo && v < out.WhiskerLo {
+			out.WhiskerLo = v
+		}
+		if v <= hi && v > out.WhiskerHi {
+			out.WhiskerHi = v
+		}
+	}
+	return out
+}
+
+// TestSummarizeSelectionMatchesSort checks the selection-based summary
+// against the full-sort reference on a spread of sizes, including
+// duplicates and already-ordered data.
+func TestSummarizeSelectionMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := [][]float64{
+		{3},
+		{2, 1},
+		{5, 5, 5, 5},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{9, 8, 7, 6, 5, 4, 3, 2, 1},
+	}
+	for n := 10; n <= 10000; n *= 10 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		cases = append(cases, xs)
+		dup := make([]float64, n)
+		for i := range dup {
+			dup[i] = float64(rng.Intn(7))
+		}
+		cases = append(cases, dup)
+	}
+	for ci, xs := range cases {
+		want := sortedSummary(xs)
+		got := Summarize(xs) // must not permute xs
+		if bitsDiffer(got.Min, want.Min) || bitsDiffer(got.Max, want.Max) ||
+			bitsDiffer(got.Q1, want.Q1) || bitsDiffer(got.Median, want.Median) ||
+			bitsDiffer(got.Q3, want.Q3) ||
+			bitsDiffer(got.WhiskerLo, want.WhiskerLo) || bitsDiffer(got.WhiskerHi, want.WhiskerHi) {
+			t.Errorf("case %d (n=%d): selection summary diverges from sort:\n got %+v\nwant %+v",
+				ci, len(xs), got, want)
+		}
+		// In-place variant returns the same statistics on a scratch copy.
+		scratch := make([]float64, len(xs))
+		copy(scratch, xs)
+		inPlace := SummarizeInPlace(scratch)
+		if inPlace != got {
+			t.Errorf("case %d: SummarizeInPlace diverges from Summarize:\n got %+v\nwant %+v",
+				ci, inPlace, got)
+		}
+	}
+}
+
+// TestSelectKth pins the selection contract: xs[k] lands on its sorted-order
+// value with a partition around it.
+func TestSelectKth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(rng.Intn(20))
+		}
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		k := rng.Intn(n)
+		work := make([]float64, n)
+		copy(work, xs)
+		if got := selectKth(work, k); bitsDiffer(got, sorted[k]) {
+			t.Fatalf("trial %d: selectKth(%d) = %v, want %v", trial, k, got, sorted[k])
+		}
+		for i := 0; i < k; i++ {
+			if work[i] > work[k] {
+				t.Fatalf("trial %d: partition violated left of k", trial)
+			}
+		}
+		for i := k + 1; i < n; i++ {
+			if work[i] < work[k] {
+				t.Fatalf("trial %d: partition violated right of k", trial)
+			}
+		}
+	}
+}
+
+// TestLinearSystemStepAllocFree guards the zero-alloc stepping contract the
+// PDN transient engine relies on: after construction, Step must not allocate.
+func TestLinearSystemStepAllocFree(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{-1, 0.5}, {0.25, -2}})
+	b := NewMatrixFrom([][]float64{{1, 0}, {0, 1}})
+	sys, err := NewLinearSystem(a, b, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 0}
+	u0 := []float64{0.1, 0}
+	u1 := []float64{0.1, 0.2}
+	if n := testing.AllocsPerRun(100, func() { sys.Step(x, u0, u1) }); n != 0 {
+		t.Errorf("LinearSystem.Step allocates %.0f objects per call, want 0", n)
+	}
+}
+
+// TestMulVecSolveIntoMatchAllocating checks the Into variants agree with the
+// allocating originals and are themselves allocation-free.
+func TestMulVecSolveIntoMatchAllocating(t *testing.T) {
+	m := NewMatrixFrom([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}})
+	x := []float64{1, -2, 0.5}
+	want := m.MulVec(x)
+	dst := make([]float64, 3)
+	m.MulVecInto(dst, x)
+	for i := range want {
+		if bitsDiffer(dst[i], want[i]) {
+			t.Fatalf("MulVecInto[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	f, err := Factorize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := []float64{3, 9, 1}
+	wantX := f.Solve(rhs)
+	gotX := make([]float64, 3)
+	f.SolveInto(gotX, rhs)
+	for i := range wantX {
+		if bitsDiffer(gotX[i], wantX[i]) {
+			t.Fatalf("SolveInto[%d] = %v, want %v", i, gotX[i], wantX[i])
+		}
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		m.MulVecInto(dst, x)
+		f.SolveInto(gotX, rhs)
+	}); n != 0 {
+		t.Errorf("Into variants allocate %.0f objects per call, want 0", n)
 	}
 }

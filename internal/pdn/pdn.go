@@ -15,6 +15,7 @@
 package pdn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -200,6 +201,22 @@ func (n *Network) StateSpace() (a, b *numeric.Matrix, cOut, dOut []float64) {
 // constant source voltage. The network starts in DC steady state at
 // iLoad(0). It returns the sampled times and node voltages.
 func (n *Network) Transient(vSrc float64, iLoad func(t float64) float64, dt, T float64) (ts, vs []float64, err error) {
+	return n.TransientContext(context.Background(), vSrc, iLoad, dt, T, nil, nil)
+}
+
+// transientCancelStride is the number of trapezoidal steps between context
+// polls. A stride is a small fraction of one simulation cell, so cancellation
+// lands mid-cell instead of after it, while the poll itself stays invisible
+// in profiles.
+const transientCancelStride = 1024
+
+// TransientContext is Transient with run control and buffer reuse: ctx is
+// polled every transientCancelStride steps so a cancelled case-study cell
+// stops mid-trace, and tsBuf/vsBuf (may be nil) donate their capacity for the
+// returned slices, letting hot callers recycle trace storage across
+// simulations. On error the returned slices are nil and the buffers' contents
+// are unspecified.
+func (n *Network) TransientContext(ctx context.Context, vSrc float64, iLoad func(t float64) float64, dt, T float64, tsBuf, vsBuf []float64) (ts, vs []float64, err error) {
 	if dt <= 0 || T <= 0 {
 		return nil, nil, fmt.Errorf("pdn: dt and T must be positive")
 	}
@@ -220,31 +237,50 @@ func (n *Network) Transient(vSrc float64, iLoad func(t float64) float64, dt, T f
 		x[k+i] = vNode
 	}
 	steps := int(math.Ceil(T / dt))
-	ts = make([]float64, 0, steps+1)
-	vs = make([]float64, 0, steps+1)
-	readout := func(t float64) {
-		v := dOut[0]*vSrc + dOut[1]*iLoad(t)
+	ts = growFloats(tsBuf, steps+1)
+	vs = growFloats(vsBuf, steps+1)
+	readout := func(t, iNow float64) {
+		v := dOut[0]*vSrc + dOut[1]*iNow
 		for j, cj := range cOut {
 			v += cj * x[j]
 		}
 		ts = append(ts, t)
 		vs = append(vs, v)
 	}
-	readout(0)
+	readout(0, i0)
 	u0 := []float64{vSrc, i0}
 	u1 := []float64{vSrc, 0}
+	// iLoad is deterministic in t, so the previous step's end-of-interval
+	// sample is this step's start-of-interval sample: one closure call per
+	// step instead of three.
+	prev := i0
 	for s := 1; s <= steps; s++ {
-		t0 := float64(s-1) * dt
+		if s%transientCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		t1 := float64(s) * dt
-		u0[1] = iLoad(t0)
-		u1[1] = iLoad(t1)
+		cur := iLoad(t1)
+		u0[1] = prev
+		u1[1] = cur
 		sys.Step(x, u0, u1)
-		readout(t1)
+		readout(t1, cur)
+		prev = cur
 	}
 	if err := numeric.AllFinite("pdn: transient voltage", vs...); err != nil {
 		return nil, nil, err
 	}
 	return ts, vs, nil
+}
+
+// growFloats returns an empty slice backed by buf when its capacity covers
+// capHint, or a fresh one otherwise.
+func growFloats(buf []float64, capHint int) []float64 {
+	if cap(buf) < capHint {
+		return make([]float64, 0, capHint)
+	}
+	return buf[:0]
 }
 
 // TypicalOffChip returns the three-level off-chip network used throughout

@@ -17,6 +17,7 @@
 package pds
 
 import (
+	"context"
 	"fmt"
 
 	"ivory/internal/dynamic"
@@ -96,8 +97,12 @@ type NoiseResult struct {
 	Config string
 	// Benchmark is the workload name.
 	Benchmark string
-	// Times and VCore sample the worst core's supply voltage.
+	// Times and VCore sample the worst core's supply voltage. They are nil
+	// when the simulation ran with SimOptions.KeepTrace false.
 	Times, VCore []float64
+	// VStats is the distribution summary of VCore, computed during the
+	// simulation so it survives even when the trace itself is dropped.
+	VStats numeric.Summary
 	// NoiseVpp is max-min of VCore.
 	NoiseVpp float64
 	// WorstDroop is VNominal - min(VCore).
@@ -107,18 +112,31 @@ type NoiseResult struct {
 func (s *System) coreCurrents(bench workload.Benchmark, dt float64, n int, v float64) [][]float64 {
 	out := make([][]float64, s.Cores)
 	for c := 0; c < s.Cores; c++ {
-		p := bench.PowerTrace(s.TDPPerCore, dt, n, s.Seed+int64(c)*1000+int64(len(bench.Name)))
+		p := bench.PowerTrace(s.TDPPerCore, dt, n, benchStreamSeed(s.Seed, bench.Name, c))
 		out[c] = s.Load.CurrentTrace(p, v)
 	}
 	return out
 }
 
 func sumTraces(traces [][]float64) []float64 {
+	return sumTracesInto(nil, traces)
+}
+
+// sumTracesInto sums traces sample-wise into dst (grown when too small; may
+// be nil). An empty trace set returns nil, matching sumTraces.
+func sumTracesInto(dst []float64, traces [][]float64) []float64 {
 	if len(traces) == 0 {
 		return nil
 	}
-	out := make([]float64, len(traces[0]))
-	for _, tr := range traces {
+	n := len(traces[0])
+	out := dst
+	if cap(out) < n {
+		out = make([]float64, n)
+	} else {
+		out = out[:n]
+	}
+	copy(out, traces[0])
+	for _, tr := range traces[1:] {
 		for i, v := range tr {
 			out[i] += v
 		}
@@ -129,7 +147,25 @@ func sumTraces(traces [][]float64) []float64 {
 // gridDrop subtracts the local grid IR + L·di/dt drop of the first core's
 // current from the regulated node voltage.
 func gridDrop(vReg, iCore []float64, dt, r, l float64) []float64 {
-	out := make([]float64, len(vReg))
+	return gridDropInto(nil, vReg, iCore, dt, r, l)
+}
+
+// gridDropInto is gridDrop with buffer reuse (dst may be nil).
+//
+// The k=0 sample intentionally carries no inductive term: both transient
+// models enter the trace in steady state at the initial load (pdn.Transient
+// applies a DC initial condition; the SC loop starts settled at its
+// reference), so the segment current is flat across the first sample
+// boundary — i[-1] ≡ i[0] and di/dt = 0. Differencing against an artificial
+// zero-current prior sample would instead inject a spurious L·i[0]/dt
+// turn-on droop into every noise statistic. A unit test pins this contract.
+func gridDropInto(dst, vReg, iCore []float64, dt, r, l float64) []float64 {
+	out := dst
+	if cap(out) < len(vReg) {
+		out = make([]float64, len(vReg))
+	} else {
+		out = out[:len(vReg)]
+	}
 	for k := range vReg {
 		drop := iCore[k] * r
 		if k > 0 && l > 0 {
@@ -140,11 +176,77 @@ func gridDrop(vReg, iCore []float64, dt, r, l float64) []float64 {
 	return out
 }
 
+// Scratch holds the reusable buffers of one transient-engine worker: summed
+// load currents, raw simulator output, decimated and derived traces, and the
+// summary workspace. A zero Scratch is ready to use; buffers grow on first
+// use and are recycled afterwards. A Scratch must not be shared between
+// concurrently running simulations — give each worker its own.
+type Scratch struct {
+	total []float64     // summed load current
+	ts    []float64     // PDN sample times
+	vs    []float64     // PDN node voltages
+	vReg  []float64     // decimated regulated voltage
+	times []float64     // decimated sample times
+	vCore []float64     // core voltage after grid drop
+	stats []float64     // SummarizeInPlace workspace (gets permuted)
+	tr    dynamic.Trace // SC simulator waveform
+}
+
+// SimOptions controls one simulation call of the transient engine.
+type SimOptions struct {
+	// KeepTrace retains Times and VCore on the result. When false the
+	// engine still fills VStats/NoiseVpp/WorstDroop but the result holds no
+	// trace, so box-plot cells never retain the full waveform.
+	KeepTrace bool
+	// Scratch recycles buffers across simulations; nil uses per-call
+	// storage.
+	Scratch *Scratch
+}
+
+func (o SimOptions) scratch() *Scratch {
+	if o.Scratch != nil {
+		return o.Scratch
+	}
+	return &Scratch{}
+}
+
+// grow returns a length-n slice backed by buf when its capacity suffices, or
+// a fresh one otherwise. Contents are unspecified.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// summarize fills the result's statistics from vCore via the scratch
+// workspace (SummarizeInPlace permutes its input, so the trace is copied
+// into scr.stats first) and, when requested, copies the trace out so the
+// result never aliases scratch storage.
+func (r *NoiseResult) summarize(scr *Scratch, times, vCore []float64, vNom float64, keepTrace bool) {
+	scr.stats = grow(scr.stats, len(vCore))
+	copy(scr.stats, vCore)
+	r.VStats = numeric.SummarizeInPlace(scr.stats)
+	r.finishStats(vNom)
+	if keepTrace {
+		r.Times = append([]float64(nil), times...)
+		r.VCore = append([]float64(nil), vCore...)
+	}
+}
+
 // SimulateOffChipVRM produces the core voltage trace for the conventional
 // configuration: regulation at the board, the PDN carrying the summed core
 // current at core voltage. The VRM output is assumed ripple-free (paper
 // §2.2), so all noise comes from PDN impedance.
 func (s *System) SimulateOffChipVRM(bench workload.Benchmark, T, dt float64) (*NoiseResult, error) {
+	return s.SimulateOffChipVRMContext(context.Background(), bench, T, dt, SimOptions{KeepTrace: true})
+}
+
+// SimulateOffChipVRMContext is SimulateOffChipVRM with cancellation (polled
+// inside the transient integration, so a cancelled run stops mid-cell) and
+// engine options. Returned Times/VCore are freshly allocated, never aliased
+// to opt.Scratch, so results outlive the scratch they were built with.
+func (s *System) SimulateOffChipVRMContext(ctx context.Context, bench workload.Benchmark, T, dt float64, opt SimOptions) (*NoiseResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -152,27 +254,27 @@ func (s *System) SimulateOffChipVRM(bench workload.Benchmark, T, dt float64) (*N
 	if n < 16 {
 		return nil, fmt.Errorf("pds: trace too short (%d samples)", n)
 	}
-	cores := s.coreCurrents(bench, dt, n, s.VNominal)
-	total := sumTraces(cores)
-	load := dynamic.Sampled(total, dt)
-	ts, vs, err := s.Network.Transient(s.VNominal, func(t float64) float64 { return load(t) }, dt, T)
+	scr := opt.scratch()
+	cores := s.coreCurrentsCached(bench, dt, n, s.VNominal)
+	scr.total = sumTracesInto(scr.total, cores)
+	load := dynamic.Sampled(scr.total, dt)
+	ts, vs, err := s.Network.TransientContext(ctx, s.VNominal, func(t float64) float64 { return load(t) }, dt, T, scr.ts, scr.vs)
 	if err != nil {
 		return nil, err
 	}
+	scr.ts, scr.vs = ts, vs
 	// Clip to n samples for uniformity.
 	if len(vs) > n {
 		ts, vs = ts[:n], vs[:n]
 	}
 	// Without on-chip regulation the full grid span from the C4 region to
 	// the core applies (the same span a centralized IVR would see).
-	vCore := gridDrop(vs, cores[0][:len(vs)], dt, s.GridR, s.GridL)
+	scr.vCore = gridDropInto(scr.vCore, vs, cores[0][:len(vs)], dt, s.GridR, s.GridL)
 	res := &NoiseResult{
 		Config:    "off-chip VRM",
 		Benchmark: bench.Name,
-		Times:     ts,
-		VCore:     vCore,
 	}
-	res.finishStats(s.VNominal)
+	res.summarize(scr, ts, scr.vCore, s.VNominal, opt.KeepTrace)
 	return res, nil
 }
 
@@ -182,6 +284,13 @@ func (s *System) SimulateOffChipVRM(bench workload.Benchmark, T, dt float64) (*N
 // cores. The worst (first) core of the first IVR is traced: regulated IVR
 // output minus its local grid drop of GridR/n, GridL/n.
 func (s *System) SimulateIVR(base *sc.Design, nIVR int, bench workload.Benchmark, T, dt float64) (*NoiseResult, error) {
+	return s.SimulateIVRContext(context.Background(), base, nIVR, bench, T, dt, SimOptions{KeepTrace: true})
+}
+
+// SimulateIVRContext is SimulateIVR with cancellation (polled inside the SC
+// simulator loop, so a cancelled run stops mid-cell) and engine options.
+// Returned Times/VCore are freshly allocated, never aliased to opt.Scratch.
+func (s *System) SimulateIVRContext(ctx context.Context, base *sc.Design, nIVR int, bench workload.Benchmark, T, dt float64, opt SimOptions) (*NoiseResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -208,8 +317,10 @@ func (s *System) SimulateIVR(base *sc.Design, nIVR int, bench workload.Benchmark
 		return nil, fmt.Errorf("pds: per-IVR design: %w", err)
 	}
 	coresPerIVR := s.Cores / nIVR
-	all := s.coreCurrents(bench, dt, steps, s.VNominal)
-	ivrLoad := sumTraces(all[:coresPerIVR])
+	scr := opt.scratch()
+	all := s.coreCurrentsCached(bench, dt, steps, s.VNominal)
+	scr.total = sumTracesInto(scr.total, all[:coresPerIVR])
+	ivrLoad := scr.total
 	// Clock the hysteretic loop for the per-IVR worst-case load.
 	_, iPk := numeric.MinMax(ivrLoad)
 	params, err := dynamic.SCFromDesignAtLoad(inst, iPk*1.2)
@@ -229,18 +340,18 @@ func (s *System) SimulateIVR(base *sc.Design, nIVR int, bench workload.Benchmark
 		factor++
 	}
 	dtSim := dt / float64(factor)
-	tr, err := sim.Run(dynamic.Sampled(ivrLoad, dt), dynamic.Constant(s.VNominal), T, dtSim)
+	tr, err := sim.RunInto(ctx, &scr.tr, dynamic.Sampled(ivrLoad, dt), dynamic.Constant(s.VNominal), T, dtSim)
 	if err != nil {
 		return nil, err
 	}
-	vReg := make([]float64, steps)
-	times := make([]float64, steps)
+	scr.vReg = grow(scr.vReg, steps)
+	scr.times = grow(scr.times, steps)
 	for k := 0; k < steps; k++ {
-		vReg[k] = tr.V[k*factor]
-		times[k] = tr.Times[k*factor]
+		scr.vReg[k] = tr.V[k*factor]
+		scr.times[k] = tr.Times[k*factor]
 	}
 	// Local grid segment shrinks with distribution.
-	vCore := gridDrop(vReg, all[0][:steps], dt, s.GridR/float64(nIVR), s.GridL/float64(nIVR))
+	scr.vCore = gridDropInto(scr.vCore, scr.vReg, all[0][:steps], dt, s.GridR/float64(nIVR), s.GridL/float64(nIVR))
 	name := fmt.Sprintf("%d distributed IVRs", nIVR)
 	if nIVR == 1 {
 		name = "centralized IVR"
@@ -248,24 +359,28 @@ func (s *System) SimulateIVR(base *sc.Design, nIVR int, bench workload.Benchmark
 	res := &NoiseResult{
 		Config:    name,
 		Benchmark: bench.Name,
-		Times:     times,
-		VCore:     vCore,
 	}
-	res.finishStats(s.VNominal)
+	res.summarize(scr, scr.times, scr.vCore, s.VNominal, opt.KeepTrace)
 	return res, nil
 }
 
 func (r *NoiseResult) finishStats(vNom float64) {
-	r.NoiseVpp = numeric.PeakToPeak(r.VCore)
-	if len(r.VCore) > 0 {
-		mn, _ := numeric.MinMax(r.VCore)
-		r.WorstDroop = vNom - mn
+	if r.VStats.N == 0 {
+		return
 	}
+	r.NoiseVpp = r.VStats.Max - r.VStats.Min
+	r.WorstDroop = vNom - r.VStats.Min
 }
 
 // Stats returns the distribution summary of the core voltage (box-plot
-// inputs for Fig. 10).
-func (r *NoiseResult) Stats() numeric.Summary { return numeric.Summarize(r.VCore) }
+// inputs for Fig. 10). It is computed during the simulation, so it remains
+// available when the trace itself was dropped (SimOptions.KeepTrace false).
+func (r *NoiseResult) Stats() numeric.Summary {
+	if r.VStats.N > 0 {
+		return r.VStats
+	}
+	return numeric.Summarize(r.VCore)
+}
 
 // Breakdown itemizes source-to-core power for one configuration (Fig. 13).
 type Breakdown struct {

@@ -84,16 +84,35 @@ func Get(name string) (Benchmark, error) {
 // sample interval dt for a core of the given TDP. The same seed always
 // yields the same trace.
 func (b Benchmark) PowerTrace(tdp, dt float64, n int, seed int64) []float64 {
+	return b.PowerTraceInto(nil, tdp, dt, n, seed)
+}
+
+// PowerTraceInto is PowerTrace with buffer reuse: dst (may be nil) donates
+// its capacity when it fits n samples. The PRNG stream is consumed exactly as
+// PowerTrace does, so the two produce identical traces for identical seeds.
+func (b Benchmark) PowerTraceInto(dst []float64, tdp, dt float64, n int, seed int64) []float64 {
 	if n <= 0 || tdp <= 0 || dt <= 0 {
 		return nil
 	}
 	rng := rand.New(rand.NewSource(seed))
-	// Random phases for the burst tones.
-	phases := make([]float64, len(b.BurstFreqs))
+	// Random phases for the burst tones. The stack array covers every builtin
+	// benchmark (≤ 3 tones), keeping trace regeneration allocation-free.
+	var phaseArr [8]float64
+	var phases []float64
+	if len(b.BurstFreqs) <= len(phaseArr) {
+		phases = phaseArr[:len(b.BurstFreqs)]
+	} else {
+		phases = make([]float64, len(b.BurstFreqs))
+	}
 	for i := range phases {
 		phases[i] = rng.Float64() * 2 * math.Pi
 	}
-	out := make([]float64, n)
+	out := dst
+	if cap(out) < n {
+		out = make([]float64, n)
+	} else {
+		out = out[:n]
+	}
 	phaseLevel := b.Base
 	nextPhase := b.PhasePeriod * (0.5 + rng.Float64())
 	stepLevel := 0.0
@@ -185,14 +204,42 @@ func (m LoadModel) Current(activity, v float64) float64 {
 // current trace (A) at the actual supply voltage v using the load model:
 // the activity of each sample is inferred from the power sample.
 func (m LoadModel) CurrentTrace(power []float64, v float64) []float64 {
-	out := make([]float64, len(power))
+	return m.CurrentTraceInto(nil, power, v)
+}
+
+// CurrentTraceInto is CurrentTrace with buffer reuse: dst (may be nil)
+// donates its capacity when it fits len(power) samples. The voltage-only
+// factors (leakage exponential, dynamic scale) are hoisted out of the loop;
+// each sample still evaluates the exact expression LoadModel.Current would,
+// so the hoisted form stays bit-identical to calling Current per sample.
+func (m LoadModel) CurrentTraceInto(dst, power []float64, v float64) []float64 {
+	out := dst
+	if cap(out) < len(power) {
+		out = make([]float64, len(power))
+	} else {
+		out = out[:len(power)]
+	}
+	if v <= 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
 	pdynNom := m.PNominal * (1 - m.LeakFraction)
+	pLeak := m.PNominal * m.LeakFraction
+	iDynNom := pdynNom / m.VNominal
+	scale := v / m.VNominal
+	iLeak := m.PNominal * m.LeakFraction / m.VNominal * math.Exp((v-m.VNominal)/0.1)
 	for i, p := range power {
-		activity := (p - m.PNominal*m.LeakFraction) / pdynNom
+		activity := (p - pLeak) / pdynNom
 		if activity < 0 {
 			activity = 0
 		}
-		out[i] = m.Current(activity, v)
+		iDyn := activity * iDynNom * scale
+		if m.FrequencyTracksV {
+			iDyn *= scale
+		}
+		out[i] = iDyn + iLeak
 	}
 	return out
 }
