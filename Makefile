@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-full benchdiff experiments examples clean
+.PHONY: all build test vet lint race bench bench-full benchdiff experiments examples serve smoke clean
 
 all: build vet lint test
 
@@ -45,6 +45,16 @@ benchdiff:
 # timings).
 bench-full:
 	$(GO) test -bench=. -benchmem ./...
+
+# Run the exploration daemon (POST /v1/explore, /v1/transient; GET
+# /healthz, /metrics). -addr :0 picks a free port.
+serve:
+	$(GO) run ./cmd/ivoryd -addr :7077
+
+# End-to-end daemon smoke: build ivoryd, boot it on a random port, probe
+# the API over HTTP, SIGTERM it and assert a clean drain.
+smoke:
+	./scripts/ivoryd_smoke.sh
 
 # Regenerate every paper table/figure plus the extension studies, with
 # plot-ready CSVs under results/data/.

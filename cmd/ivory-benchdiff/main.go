@@ -1,6 +1,7 @@
 // Command ivory-benchdiff compares two benchmark result files and prints an
-// old-vs-new table of time and allocation deltas for the benchmarks the two
-// runs share.
+// old-vs-new table of time and allocation deltas. Benchmarks present in only
+// one file are reported as added/removed rows with "-" in the missing
+// columns rather than silently dropped.
 //
 // Usage:
 //
@@ -9,8 +10,10 @@
 // Inputs are `go test -json` streams (the BENCH_*.json files `make bench`
 // writes); plain `go test -bench` text output is accepted too. The exit code
 // is 0 regardless of deltas unless -fail-over is set: then any shared
-// benchmark whose ns/op grew by more than the given factor fails the run
-// (CI keeps the step non-gating via continue-on-error either way).
+// benchmark whose ns/op grew by more than the given factor fails the run.
+// Added and removed benchmarks never gate -fail-over — a missing baseline is
+// not a regression. Exit 2 is reserved for unusable inputs (unreadable
+// files, or no benchmarks in either file).
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -122,6 +126,70 @@ func ratio(old, new float64) string {
 	return fmt.Sprintf("%.2fx", old/new)
 }
 
+// runDiff prints the union diff of the two result sets and returns the
+// process exit code: 0 on success, 1 when -fail-over catches a shared
+// regression, 2 when neither file holds a single benchmark. Benchmarks in
+// only one file become added/removed rows with "-" in the missing side's
+// columns, and never participate in the -fail-over gate.
+func runDiff(failOver float64, oldRes, newRes map[string]result, out, errw io.Writer) int {
+	if len(oldRes) == 0 && len(newRes) == 0 {
+		_, _ = fmt.Fprintln(errw, "ivory-benchdiff: no benchmarks in either file")
+		return 2
+	}
+	names := make([]string, 0, len(oldRes)+len(newRes))
+	for name := range oldRes {
+		names = append(names, name)
+	}
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	_, _ = fmt.Fprintf(out, "%-36s %14s %14s %8s %12s %12s %8s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs", "ratio", "status")
+	regressed, shared := 0, 0
+	for _, name := range names {
+		o, hasOld := oldRes[name]
+		n, hasNew := newRes[name]
+		timeCols := [3]string{"-", "-", "-"}
+		allocCols := [3]string{"-", "-", "-"}
+		status := ""
+		switch {
+		case hasOld && hasNew:
+			shared++
+			timeCols = [3]string{fmt.Sprintf("%.0f", o.NsPerOp), fmt.Sprintf("%.0f", n.NsPerOp), ratio(o.NsPerOp, n.NsPerOp)}
+			if o.hasMem && n.hasMem {
+				allocCols = [3]string{fmt.Sprintf("%.0f", o.AllocsPerOp), fmt.Sprintf("%.0f", n.AllocsPerOp), ratio(o.AllocsPerOp, n.AllocsPerOp)}
+			}
+			if failOver > 0 && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*failOver {
+				regressed++
+			}
+		case hasNew:
+			status = "added"
+			timeCols[1] = fmt.Sprintf("%.0f", n.NsPerOp)
+			if n.hasMem {
+				allocCols[1] = fmt.Sprintf("%.0f", n.AllocsPerOp)
+			}
+		default:
+			status = "removed"
+			timeCols[0] = fmt.Sprintf("%.0f", o.NsPerOp)
+			if o.hasMem {
+				allocCols[0] = fmt.Sprintf("%.0f", o.AllocsPerOp)
+			}
+		}
+		_, _ = fmt.Fprintf(out, "%-36s %14s %14s %8s %12s %12s %8s %8s\n",
+			strings.TrimPrefix(name, "Benchmark"), timeCols[0], timeCols[1], timeCols[2],
+			allocCols[0], allocCols[1], allocCols[2], status)
+	}
+	if regressed > 0 {
+		_, _ = fmt.Fprintf(errw, "ivory-benchdiff: %d of %d shared benchmarks regressed beyond %.2fx\n",
+			regressed, shared, failOver)
+		return 1
+	}
+	return 0
+}
+
 func main() {
 	failOver := flag.Float64("fail-over", 0, "exit nonzero when any shared benchmark's ns/op grew by more than this factor (0 disables)")
 	flag.Parse()
@@ -139,39 +207,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ivory-benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	var shared []string
-	for name := range newRes {
-		if _, ok := oldRes[name]; ok {
-			shared = append(shared, name)
-		}
-	}
-	if len(shared) == 0 {
-		fmt.Fprintf(os.Stderr, "ivory-benchdiff: no shared benchmarks between %s (%d) and %s (%d)\n",
-			flag.Arg(0), len(oldRes), flag.Arg(1), len(newRes))
-		os.Exit(2)
-	}
-	sort.Strings(shared)
-	fmt.Printf("%-36s %14s %14s %8s %12s %12s %8s\n",
-		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs", "ratio")
-	regressed := 0
-	for _, name := range shared {
-		o, n := oldRes[name], newRes[name]
-		allocCols := [3]string{"-", "-", "-"}
-		if o.hasMem && n.hasMem {
-			allocCols[0] = fmt.Sprintf("%.0f", o.AllocsPerOp)
-			allocCols[1] = fmt.Sprintf("%.0f", n.AllocsPerOp)
-			allocCols[2] = ratio(o.AllocsPerOp, n.AllocsPerOp)
-		}
-		fmt.Printf("%-36s %14.0f %14.0f %8s %12s %12s %8s\n",
-			strings.TrimPrefix(name, "Benchmark"), o.NsPerOp, n.NsPerOp, ratio(o.NsPerOp, n.NsPerOp),
-			allocCols[0], allocCols[1], allocCols[2])
-		if *failOver > 0 && o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(*failOver) {
-			regressed++
-		}
-	}
-	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "ivory-benchdiff: %d of %d shared benchmarks regressed beyond %.2fx\n",
-			regressed, len(shared), *failOver)
-		os.Exit(1)
-	}
+	os.Exit(runDiff(*failOver, oldRes, newRes, os.Stdout, os.Stderr))
 }

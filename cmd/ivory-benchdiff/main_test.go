@@ -1,0 +1,114 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"ivory/internal/numeric"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, r, ok := parseBenchLine("BenchmarkExplore-8  10  123456 ns/op  2048 B/op  17 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if name != "BenchmarkExplore" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", name)
+	}
+	if !numeric.ApproxEqual(r.NsPerOp, 123456, 0) || !numeric.ApproxEqual(r.AllocsPerOp, 17, 0) || !r.hasMem {
+		t.Errorf("parsed %+v", r)
+	}
+
+	if _, _, ok := parseBenchLine("ok  	ivory/internal/core	1.2s"); ok {
+		t.Error("non-benchmark line accepted")
+	}
+	if _, r, ok := parseBenchLine("BenchmarkX-4 100 50 ns/op"); !ok || r.hasMem {
+		t.Errorf("time-only line: ok=%v r=%+v", ok, r)
+	}
+}
+
+func row(out, name string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			return line
+		}
+	}
+	return ""
+}
+
+func TestRunDiffUnion(t *testing.T) {
+	oldRes := map[string]result{
+		"BenchmarkShared":  {NsPerOp: 100, AllocsPerOp: 5, hasMem: true},
+		"BenchmarkRemoved": {NsPerOp: 42},
+	}
+	newRes := map[string]result{
+		"BenchmarkShared": {NsPerOp: 50, AllocsPerOp: 4, hasMem: true},
+		"BenchmarkAdded":  {NsPerOp: 7},
+	}
+	var out, errw strings.Builder
+	if code := runDiff(0, oldRes, newRes, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errw.String())
+	}
+	text := out.String()
+
+	added := row(text, "Added")
+	if added == "" || !strings.Contains(added, "added") {
+		t.Errorf("no added row for one-file-only benchmark:\n%s", text)
+	}
+	if !strings.Contains(added, "-") {
+		t.Errorf("added row lacks '-' placeholders: %q", added)
+	}
+	removed := row(text, "Removed")
+	if removed == "" || !strings.Contains(removed, "removed") {
+		t.Errorf("no removed row:\n%s", text)
+	}
+	shared := row(text, "Shared")
+	if shared == "" || !strings.Contains(shared, "2.00x") {
+		t.Errorf("shared speedup missing:\n%s", text)
+	}
+}
+
+// TestRunDiffFailOverIgnoresUnshared: a benchmark with no baseline (or no
+// successor) must never trip the regression gate.
+func TestRunDiffFailOverIgnoresUnshared(t *testing.T) {
+	oldRes := map[string]result{
+		"BenchmarkGone": {NsPerOp: 1}, // would be a "massive regression" if compared against nothing
+	}
+	newRes := map[string]result{
+		"BenchmarkNew": {NsPerOp: 1e9},
+	}
+	var out, errw strings.Builder
+	if code := runDiff(1.05, oldRes, newRes, &out, &errw); code != 0 {
+		t.Fatalf("unshared benchmarks gated -fail-over: exit %d, stderr %q", code, errw.String())
+	}
+
+	// A genuine shared regression still fails.
+	oldRes["BenchmarkHot"] = result{NsPerOp: 100}
+	newRes["BenchmarkHot"] = result{NsPerOp: 200}
+	out.Reset()
+	errw.Reset()
+	if code := runDiff(1.05, oldRes, newRes, &out, &errw); code != 1 {
+		t.Fatalf("shared 2x regression passed -fail-over 1.05: exit %d", code)
+	}
+	if !strings.Contains(errw.String(), "1 of 1 shared") {
+		t.Errorf("gate counted unshared rows: %q", errw.String())
+	}
+}
+
+func TestRunDiffEmptyInputs(t *testing.T) {
+	var out, errw strings.Builder
+	if code := runDiff(0, map[string]result{}, map[string]result{}, &out, &errw); code != 2 {
+		t.Fatalf("two empty files: exit %d, want 2", code)
+	}
+
+	// One empty side is a valid diff (a brand-new or fully-retired suite).
+	out.Reset()
+	errw.Reset()
+	newOnly := map[string]result{"BenchmarkFresh": {NsPerOp: 10}}
+	if code := runDiff(2, map[string]result{}, newOnly, &out, &errw); code != 0 {
+		t.Fatalf("empty baseline: exit %d, stderr %q", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "added") {
+		t.Errorf("empty-baseline diff did not mark rows added:\n%s", out.String())
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"ivory"
+)
+
+// writeExploreJSON renders an exploration result in the ivoryd wire schema
+// (ivory.ExploreResponse), so `ivory explore -json` output is
+// byte-compatible with POST /v1/explore bodies and one set of downstream
+// tooling parses both. runErr is the error Explore returned alongside a
+// partial result (nil on a complete run); it is folded into the body and
+// returned so the command still exits nonzero on an interrupted run.
+func writeExploreJSON(w io.Writer, res *ivory.ExplorationResult, runErr error, top int) error {
+	resp := ivory.NewExploreResponse(res, runErr).Trimmed(top)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		return err
+	}
+	return runErr
+}

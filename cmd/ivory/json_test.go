@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"ivory"
+)
+
+// fixedResult builds a deterministic exploration result so the JSON output
+// is stable without running the engine.
+func fixedResult(t *testing.T) *ivory.ExplorationResult {
+	t.Helper()
+	spec := ivory.Spec{NodeName: "45nm", VIn: 1.8, VOut: 0.9, IMax: 1, AreaMax: 2e-6}
+	norm, err := spec.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &ivory.ExplorationResult{Spec: norm, Rejected: 2}
+	for _, label := range []string{"a", "b", "c"} {
+		res.Candidates = append(res.Candidates, ivory.Candidate{Kind: ivory.KindSC, Label: label})
+	}
+	res.Best = res.Candidates[0]
+	return res
+}
+
+// TestWriteExploreJSONSchema pins the CLI's -json output to the ivoryd wire
+// schema: the bytes must decode into ivory.ExploreResponse with the same
+// top-level keys a /v1/explore body carries, and with no extras.
+func TestWriteExploreJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeExploreJSON(&buf, fixedResult(t), nil, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var resp ivory.ExploreResponse
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatalf("-json output is not an ExploreResponse: %v\n%s", err, buf.Bytes())
+	}
+	if resp.SpecHash == "" {
+		t.Error("no spec_hash")
+	}
+	if want := ivory.SpecHash(fixedResult(t).Spec); resp.SpecHash != want {
+		t.Errorf("spec_hash %q != SpecHash %q", resp.SpecHash, want)
+	}
+	if len(resp.Candidates) != 2 {
+		t.Errorf("top=2 emitted %d candidates", len(resp.Candidates))
+	}
+	if resp.TotalCandidates != 3 {
+		t.Errorf("total_candidates = %d, want the untrimmed 3", resp.TotalCandidates)
+	}
+	if resp.Cancelled || resp.Error != "" {
+		t.Errorf("complete run marked cancelled: %+v", resp)
+	}
+
+	// Key order and naming are part of the contract with the server schema.
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"spec_hash", "spec", "best", "candidates", "total_candidates", "rejected", "stats"} {
+		if _, ok := keys[k]; !ok {
+			t.Errorf("key %q missing from -json output", k)
+		}
+	}
+}
+
+// TestWriteExploreJSONPartial: an interrupted run still emits the ranked
+// prefix, marked cancelled, and the command-level error is preserved.
+func TestWriteExploreJSONPartial(t *testing.T) {
+	var buf bytes.Buffer
+	runErr := errors.New("context canceled")
+	if err := writeExploreJSON(&buf, fixedResult(t), runErr, 0); !errors.Is(err, runErr) {
+		t.Fatalf("writeExploreJSON swallowed the run error: %v", err)
+	}
+	var resp ivory.ExploreResponse
+	if err := json.Unmarshal(buf.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cancelled || resp.Error != "context canceled" {
+		t.Errorf("partial not marked: cancelled=%v error=%q", resp.Cancelled, resp.Error)
+	}
+	if len(resp.Candidates) != 3 {
+		t.Errorf("partial lost candidates: %d", len(resp.Candidates))
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	ivory nodes
 //	ivory topology  -family sp -p 3 -q 1
-//	ivory explore   -node 45nm -vin 3.3 -vout 1.0 -imax 6 -area-mm2 6 [-objective eff|area|noise] [-top 10] [-timeout 30s] [-progress] [-workers N]
+//	ivory explore   -node 45nm -vin 3.3 -vout 1.0 -imax 6 -area-mm2 6 [-objective eff|area|noise] [-top 10] [-json] [-timeout 30s] [-progress] [-workers N]
 //	ivory table2    -node 45nm -vin 3.3 -vout 1.0 -imax 23.5 -area-mm2 20 [-counts 1,2,4]
 //	ivory dynamic   -node 45nm -vin 3.3 -vout 1.0 -imax 6 -area-mm2 6 -step-to 9 [-csv out.csv]
 package main
@@ -203,6 +203,7 @@ func cmdExplore(args []string) error {
 	fs := flag.NewFlagSet("explore", flag.ExitOnError)
 	get := specFlags(fs)
 	top := fs.Int("top", 10, "number of candidates to print")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (the ivoryd /v1/explore wire schema)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -214,6 +215,9 @@ func cmdExplore(args []string) error {
 	res, err := ivory.Explore(spec)
 	if err != nil && res == nil {
 		return err
+	}
+	if *jsonOut {
+		return writeExploreJSON(os.Stdout, res, err, *top)
 	}
 	if err != nil {
 		// Cancelled or timed out mid-run: Explore still returns the ranked

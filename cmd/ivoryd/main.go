@@ -1,0 +1,89 @@
+// Command ivoryd is the Ivory exploration daemon: a long-running HTTP/JSON
+// service wrapping the design-space exploration and transient case-study
+// engines behind a bounded job queue, an LRU result cache with singleflight
+// coalescing, Prometheus-style metrics, and a graceful SIGTERM drain.
+//
+// Usage:
+//
+//	ivoryd [-addr :7077] [-workers 2] [-engine-workers 0] [-queue 16]
+//	       [-cache 128] [-timeout 60s] [-drain-timeout 30s] [-job-history 256]
+//
+// Endpoints:
+//
+//	POST /v1/explore    design-space exploration (async with "async": true)
+//	POST /v1/transient  workload-driven transient noise sweep
+//	GET  /v1/jobs/{id}  poll an async job
+//	GET  /healthz       200 ok | 503 draining
+//	GET  /metrics       Prometheus text exposition
+//
+// On SIGTERM/SIGINT the daemon stops admission (healthz flips to
+// draining), drains in-flight jobs within -drain-timeout — cancelling
+// stragglers so explorations return their ranked partial results — and
+// exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ivory/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7077", "listen address (host:port; :0 picks a free port)")
+	workers := flag.Int("workers", 0, "concurrent jobs (0 = default: 2)")
+	engineWorkers := flag.Int("engine-workers", 0, "engine worker goroutines per job (0 = NumCPU/workers)")
+	queue := flag.Int("queue", 0, "pending-job queue depth before 429s (0 = default: 16)")
+	cache := flag.Int("cache", 0, "LRU result-cache entries (0 = default: 128, negative disables)")
+	timeout := flag.Duration("timeout", 0, "per-job compute deadline (0 = default: 60s)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
+	jobHistory := flag.Int("job-history", 0, "async job records retained (0 = default: 256)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		EngineWorkers:  *engineWorkers,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+		JobHistory:     *jobHistory,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivoryd:", err)
+		os.Exit(1)
+	}
+	// The smoke harness parses this line to find a :0-assigned port; keep
+	// the format stable.
+	fmt.Printf("ivoryd: listening on %s\n", l.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, os.Interrupt)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		sig := <-sigs
+		fmt.Printf("ivoryd: %v received, draining (up to %s)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	serveErr := srv.Serve(l)
+	if serveErr != nil && serveErr != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "ivoryd:", serveErr)
+		os.Exit(1)
+	}
+	if err := <-shutdownErr; err != nil {
+		fmt.Fprintln(os.Stderr, "ivoryd: drain incomplete:", err)
+		os.Exit(1)
+	}
+	fmt.Println("ivoryd: drained cleanly")
+}

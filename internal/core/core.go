@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"ivory/internal/buck"
 	"ivory/internal/ivr"
@@ -54,6 +55,22 @@ func (o Objective) String() string {
 	}
 }
 
+// ParseObjective maps an objective name to its constant. Both the canonical
+// String form ("max-efficiency") and the CLI/wire short form ("eff") are
+// accepted, case-insensitively.
+func ParseObjective(s string) (Objective, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "eff", "efficiency", "max-efficiency":
+		return MaxEfficiency, nil
+	case "area", "min-area":
+		return MinArea, nil
+	case "noise", "min-noise":
+		return MinNoise, nil
+	default:
+		return MaxEfficiency, fmt.Errorf("core: unknown objective %q (want eff|area|noise)", s)
+	}
+}
+
 // Kind identifies the converter family of a candidate.
 type Kind int
 
@@ -76,6 +93,21 @@ func (k Kind) String() string {
 		return "LDO"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a converter-family name ("sc", "buck", "ldo",
+// case-insensitive) to its constant.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sc":
+		return KindSC, nil
+	case "buck":
+		return KindBuck, nil
+	case "ldo":
+		return KindLDO, nil
+	default:
+		return KindSC, fmt.Errorf("core: unknown converter kind %q (want SC|buck|LDO)", s)
 	}
 }
 
@@ -164,6 +196,19 @@ func (s *Spec) defaults() error {
 		return fmt.Errorf("core: Spec.Workers must be >= 0 (got %d)", s.Workers)
 	}
 	return nil
+}
+
+// Normalized returns a copy of the spec with every default applied — the
+// exact spec Explore evaluates and echoes on Result.Spec — or the
+// validation error Explore would return for it. Serving layers key caches
+// on the normalized spec so requests that differ only in elided defaults
+// (RippleMax 0 vs the derived 1% of VOut, an empty vs explicit Kinds list)
+// coalesce onto one computation.
+func (s Spec) Normalized() (Spec, error) {
+	if err := (&s).defaults(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
 }
 
 // Candidate is one evaluated design point.

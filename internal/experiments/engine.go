@@ -25,6 +25,17 @@ type TransientOptions struct {
 	// Progress, when set, receives a snapshot after every completed cell.
 	// It is called from a single goroutine at a time (never reentrantly).
 	Progress func(TransientStats)
+	// Benchmarks restricts the workload set of the noise engine (Fig10Run)
+	// to the named built-in benchmarks (workload.Names()); empty selects
+	// every benchmark. A name outside the registry is an input error. The
+	// per-figure runners with fixed enumerations (Fig12/Fig13/GridScale/
+	// Ablations) ignore the filter.
+	Benchmarks []string
+	// Configs restricts the VR configurations of the noise engine to the
+	// given distributed-IVR counts (0 = off-chip VRM); empty selects the
+	// case-study set {0, 1, 2, 4}. Negative counts are an input error.
+	// Ignored by the fixed-enumeration runners, like Benchmarks.
+	Configs []int
 }
 
 // TransientStats is the telemetry record of one transient-engine run,

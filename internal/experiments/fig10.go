@@ -51,6 +51,9 @@ type Fig10Result struct {
 	NoiseByConfig map[string]float64
 	// DroopByConfig aggregates the worst droop per config (the guardband).
 	DroopByConfig map[string]float64
+	// Configs records the IVR counts the run covered (the case-study set
+	// {0,1,2,4} unless TransientOptions.Configs narrowed it).
+	Configs []int
 	// RunStats is the engine telemetry of the run that produced the result.
 	RunStats TransientStats
 }
@@ -99,15 +102,40 @@ type fig10Cell struct {
 
 // fig10Cells enumerates the benchmark × configuration grid in the fixed
 // order the serial loop used; the parallel merge walks the same order.
-func fig10Cells() []fig10Cell {
-	names := workload.Names()
-	cells := make([]fig10Cell, 0, len(names)*len(noiseConfigs))
+// opt.Benchmarks/opt.Configs narrow the grid for scoped (serving) runs;
+// the defaults reproduce the full case study. Selections are validated
+// here so a bad request fails before any simulation burns a worker.
+func fig10Cells(opt TransientOptions) ([]fig10Cell, []int, error) {
+	names := opt.Benchmarks
+	if len(names) == 0 {
+		names = workload.Names()
+	} else {
+		for _, b := range names {
+			if _, err := workload.Get(b); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	configs := opt.Configs
+	if len(configs) == 0 {
+		configs = noiseConfigs
+	} else {
+		for _, n := range configs {
+			if n < 0 {
+				return nil, nil, fmt.Errorf("experiments: negative IVR count %d", n)
+			}
+		}
+	}
+	cells := make([]fig10Cell, 0, len(names)*len(configs))
 	for _, b := range names {
-		for _, n := range noiseConfigs {
+		for _, n := range configs {
 			cells = append(cells, fig10Cell{bench: b, nIVR: n})
 		}
 	}
-	return cells
+	if len(cells) == 0 {
+		return nil, nil, fmt.Errorf("experiments: empty benchmark x configuration grid")
+	}
+	return cells, configs, nil
 }
 
 // Fig10Run is the engine entry point: the benchmark × configuration cells
@@ -126,6 +154,10 @@ func Fig10Run(ctx context.Context, opt TransientOptions) (*Fig10Result, error) {
 	if dt <= 0 {
 		dt = 1e-9
 	}
+	cells, configs, err := fig10Cells(opt)
+	if err != nil {
+		return nil, err
+	}
 	cs, err := NewCaseSystem()
 	if err != nil {
 		return nil, err
@@ -135,7 +167,6 @@ func Fig10Run(ctx context.Context, opt TransientOptions) (*Fig10Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cells := fig10Cells()
 	tracker := newTransientTracker(len(cells), time.Since(exploreStart), opt.Progress)
 	results := make([]*pds.NoiseResult, len(cells))
 	errs := make([]error, len(cells))
@@ -178,6 +209,7 @@ func Fig10Run(ctx context.Context, opt TransientOptions) (*Fig10Result, error) {
 		CFDTraces:     map[string][]float64{},
 		NoiseByConfig: map[string]float64{},
 		DroopByConfig: map[string]float64{},
+		Configs:       configs,
 	}
 	for i, nr := range results {
 		c := cells[i]
@@ -223,7 +255,7 @@ func (r *Fig10Result) Format() string {
 	out := "Fig. 10 — voltage-noise statistics per benchmark and VR configuration\n"
 	out += table([]string{"benchmark", "config", "median", "Q1", "Q3", "min", "max", "Vpp(mV)"}, rows)
 	out += "\nWorst-case noise range per configuration:\n"
-	for _, n := range noiseConfigs {
+	for _, n := range r.configsOrDefault() {
 		name := configName(n)
 		out += fmt.Sprintf("  %-22s %.1f mV (worst droop %.1f mV)\n",
 			name, r.NoiseByConfig[name]*1e3, r.DroopByConfig[name]*1e3)
@@ -231,11 +263,21 @@ func (r *Fig10Result) Format() string {
 	return out
 }
 
+// configsOrDefault returns the run's configuration list, falling back to
+// the case-study set for results built before the field existed.
+func (r *Fig10Result) configsOrDefault() []int {
+	if len(r.Configs) > 0 {
+		return r.Configs
+	}
+	return noiseConfigs
+}
+
 // FormatFig11 renders the CFD waveform comparison (Fig. 11).
 func (r *Fig10Result) FormatFig11() string {
 	out := "Fig. 11 — CFD supply-voltage traces per VR configuration\n"
-	configs := make([]string, 0, len(noiseConfigs))
-	for _, n := range noiseConfigs {
+	cfgList := r.configsOrDefault()
+	configs := make([]string, 0, len(cfgList))
+	for _, n := range cfgList {
 		configs = append(configs, configName(n))
 	}
 	out += "Noise ranges: "

@@ -1,0 +1,114 @@
+package parallel
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is the long-lived counterpart of ForContext: a fixed set of worker
+// goroutines draining a bounded job queue. ForContext serves one-shot
+// fan-outs whose size is known up front; Pool serves streams — a daemon
+// accepting requests over time — where the queue bound is the backpressure
+// signal (a full queue means "tell the caller to retry", not "block the
+// accept loop").
+//
+// The panic contract mirrors ForContext: a panic inside a job is recovered
+// on the worker so one bad request cannot kill the process. Because a pool
+// has no single caller to re-raise on, the recovered value goes to the
+// OnPanic hook (as a *PanicError with the panicking goroutine's stack)
+// instead; jobs that manage their own outcome should additionally recover
+// internally to attribute the failure to their request.
+type Pool struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	running atomic.Int64
+	// seq numbers jobs in submission order for PanicError.Index.
+	seq atomic.Int64
+	// onPanic receives panics that escape a job. Set once at construction;
+	// nil drops them after recovery (the worker survives either way).
+	onPanic func(*PanicError)
+}
+
+// NewPool starts a pool of `workers` goroutines behind a queue holding up
+// to `depth` pending jobs. workers <= 0 selects runtime.NumCPU(); depth < 0
+// is treated as 0 (submissions succeed only when a worker is idle to take
+// the handoff). onPanic, when non-nil, is called (serially per panicking
+// job, possibly concurrently across workers) with any panic recovered from
+// a job.
+func NewPool(workers, depth int, onPanic func(*PanicError)) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &Pool{jobs: make(chan func(), depth), onPanic: onPanic}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		p.running.Add(1)
+		p.runOne(job)
+		p.running.Add(-1)
+	}
+}
+
+// runOne isolates the recover so a panic unwinds only the job, not the
+// worker loop.
+func (p *Pool) runOne(job func()) {
+	idx := int(p.seq.Add(1)) - 1
+	defer func() {
+		if r := recover(); r != nil {
+			if p.onPanic != nil {
+				p.onPanic(&PanicError{Index: idx, Value: r, Stack: debug.Stack()})
+			}
+		}
+	}()
+	job()
+}
+
+// TrySubmit enqueues the job without blocking. It returns false when the
+// queue is full or the pool is closed — the caller's cue to shed load
+// (HTTP 429) rather than queue unboundedly.
+func (p *Pool) TrySubmit(job func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth reports the number of queued (accepted but not yet started) jobs.
+func (p *Pool) Depth() int { return len(p.jobs) }
+
+// Running reports the number of jobs currently executing on workers.
+func (p *Pool) Running() int { return int(p.running.Load()) }
+
+// Close stops admission, drains every queued job, and waits for in-flight
+// jobs to finish. It is idempotent and safe to call concurrently with
+// TrySubmit (late submissions simply return false).
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

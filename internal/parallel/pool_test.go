@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEveryAcceptedJob(t *testing.T) {
+	p := NewPool(4, 64, nil)
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		if !p.TrySubmit(func() { n.Add(1) }) {
+			t.Fatalf("submit %d rejected with a deep queue", i)
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 50 {
+		t.Fatalf("ran %d of 50 jobs", got)
+	}
+}
+
+func TestPoolBackpressureWhenFull(t *testing.T) {
+	p := NewPool(1, 1, nil)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if !p.TrySubmit(func() { close(started); <-block }) {
+		t.Fatal("first submit rejected")
+	}
+	<-started // worker busy
+	if !p.TrySubmit(func() {}) {
+		t.Fatal("queue slot submit rejected")
+	}
+	// Worker occupied and the single queue slot taken: the next submit
+	// must shed, not block.
+	if p.TrySubmit(func() {}) {
+		t.Fatal("overfull submit accepted")
+	}
+	if d := p.Depth(); d != 1 {
+		t.Fatalf("Depth = %d, want 1", d)
+	}
+	close(block)
+}
+
+func TestPoolCloseDrainsQueuedJobs(t *testing.T) {
+	p := NewPool(2, 16, nil)
+	var n atomic.Int64
+	for i := 0; i < 10; i++ {
+		if !p.TrySubmit(func() { time.Sleep(time.Millisecond); n.Add(1) }) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 10 {
+		t.Fatalf("Close drained %d of 10 jobs", got)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit after Close accepted")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolPanicContainment(t *testing.T) {
+	var mu sync.Mutex
+	var caught []*PanicError
+	p := NewPool(2, 16, func(pe *PanicError) {
+		mu.Lock()
+		caught = append(caught, pe)
+		mu.Unlock()
+	})
+	var ok atomic.Int64
+	if !p.TrySubmit(func() { panic("boom") }) {
+		t.Fatal("submit rejected")
+	}
+	// The worker that recovered the panic must keep serving jobs.
+	for i := 0; i < 8; i++ {
+		if !p.TrySubmit(func() { ok.Add(1) }) {
+			t.Fatalf("post-panic submit %d rejected", i)
+		}
+	}
+	p.Close()
+	if got := ok.Load(); got != 8 {
+		t.Fatalf("%d of 8 jobs ran after the panic", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(caught) != 1 {
+		t.Fatalf("caught %d panics, want 1", len(caught))
+	}
+	if caught[0].Value != "boom" || len(caught[0].Stack) == 0 {
+		t.Fatalf("panic not preserved: %+v", caught[0])
+	}
+}

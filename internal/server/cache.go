@@ -1,0 +1,146 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is a fixed-capacity LRU over completed responses, keyed by
+// the canonical spec/request hash. Values are treated as immutable once
+// stored: readers share the cached pointer and must copy before mutating
+// (ExploreResponse.Trimmed does exactly that).
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// newResultCache builds a cache holding up to capacity entries;
+// capacity <= 0 disables caching (every Get misses, Put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *resultCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *resultCache) Put(key string, val any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns the lifetime hit/miss counters.
+func (c *resultCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// flight is one in-progress computation that concurrent identical requests
+// share. done is closed exactly once, after val/err are set.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// wait blocks until the flight resolves.
+func (f *flight) wait() (any, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// flightGroup is a minimal singleflight: the first request for a key
+// creates the flight (and owns submitting the work), later requests join
+// it. Unlike x/sync/singleflight, resolution is explicit — the owner calls
+// finish from the worker goroutine when the job completes — so the
+// computation survives the leader's HTTP request being abandoned.
+type flightGroup struct {
+	mu        sync.Mutex
+	m         map[string]*flight
+	coalesced atomic.Int64
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: map[string]*flight{}}
+}
+
+// join returns the flight for key, creating it when absent. leader reports
+// whether this caller created it (and therefore must submit the work and
+// eventually finish it, or abort it on submission failure).
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		g.coalesced.Add(1)
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish resolves the flight and removes it from the group so later
+// requests start fresh (typically they will hit the cache instead).
+func (g *flightGroup) finish(key string, f *flight, val any, err error) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	f.val, f.err = val, err
+	close(f.done)
+}
+
+// abort removes a flight whose work was never submitted (queue full) and
+// resolves it with the error so any waiter that slipped in unblocks with
+// the same outcome the leader saw.
+func (g *flightGroup) abort(key string, f *flight, err error) {
+	g.finish(key, f, nil, err)
+}
+
+// Coalesced returns how many requests joined an existing flight instead of
+// starting their own computation.
+func (g *flightGroup) Coalesced() int64 { return g.coalesced.Load() }
+
+// Inflight returns the number of open flights.
+func (g *flightGroup) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

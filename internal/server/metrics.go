@@ -1,0 +1,231 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ivory/internal/grid"
+	"ivory/internal/pds"
+	"ivory/internal/topology"
+)
+
+// The metrics layer is a deliberately tiny, stdlib-only subset of a
+// Prometheus client: labeled counters, one labeled histogram, and gauges
+// computed at scrape time. Exposition follows the text format
+// (https://prometheus.io/docs/instrumenting/exposition_formats/) closely
+// enough for promtool and the scrape-and-parse test.
+
+// counterVec is a monotonically increasing counter family keyed by a
+// pre-rendered label string (`endpoint="explore",code="200"`).
+type counterVec struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func newCounterVec() *counterVec { return &counterVec{m: map[string]int64{}} }
+
+func (c *counterVec) inc(labels string) {
+	c.mu.Lock()
+	c.m[labels]++
+	c.mu.Unlock()
+}
+
+func (c *counterVec) snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// latencyBuckets are the request-duration histogram bounds in seconds,
+// spanning cache hits (sub-millisecond) to long sweeps.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60}
+
+// histogramVec is a cumulative histogram family keyed by endpoint.
+type histogramVec struct {
+	mu sync.Mutex
+	m  map[string]*histogram
+}
+
+type histogram struct {
+	counts []int64 // per latencyBuckets bound
+	sum    float64
+	count  int64
+}
+
+func newHistogramVec() *histogramVec { return &histogramVec{m: map[string]*histogram{}} }
+
+func (h *histogramVec) observe(label string, v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hist, ok := h.m[label]
+	if !ok {
+		hist = &histogram{counts: make([]int64, len(latencyBuckets))}
+		h.m[label] = hist
+	}
+	for i, b := range latencyBuckets {
+		if v <= b {
+			hist.counts[i]++
+		}
+	}
+	hist.sum += v
+	hist.count++
+}
+
+// metrics bundles the server's instrument families. Gauges (queue depth,
+// draining, cache ratio, engine cache counters) are not stored — they are
+// read from their sources at scrape time.
+type metrics struct {
+	// requests counts finished HTTP requests by endpoint and status code.
+	requests *counterVec
+	// latency observes request wall time by endpoint.
+	latency *histogramVec
+	// jobsSubmitted/jobsRejected count queue admissions vs 429 sheds.
+	jobsSubmitted *counterVec
+	jobsRejected  *counterVec
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:      newCounterVec(),
+		latency:       newHistogramVec(),
+		jobsSubmitted: newCounterVec(),
+		jobsRejected:  newCounterVec(),
+	}
+}
+
+// endpointCode renders the label pair for the request counter.
+func endpointCode(endpoint string, code int) string {
+	return `endpoint="` + endpoint + `",code="` + strconv.Itoa(code) + `"`
+}
+
+func endpointLabel(endpoint string) string { return `endpoint="` + endpoint + `"` }
+
+// gaugeSnapshot carries the point-in-time values the server computes at
+// scrape time.
+type gaugeSnapshot struct {
+	queueDepth   int
+	running      int
+	inflight     int
+	draining     bool
+	cacheEntries int
+	cacheHits    int64
+	cacheMisses  int64
+	coalesced    int64
+	jobsTracked  int
+}
+
+func writeCounterFamily(w io.Writer, name, help string, snap map[string]int64) {
+	_, _ = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if k == "" {
+			_, _ = fmt.Fprintf(w, "%s %d\n", name, snap[k])
+		} else {
+			_, _ = fmt.Fprintf(w, "%s{%s} %d\n", name, k, snap[k])
+		}
+	}
+}
+
+func writeGauge(w io.Writer, name, help string, v float64) {
+	_, _ = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+		name, help, name, name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func writeCounter(w io.Writer, name, help string, v int64) {
+	_, _ = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// write renders the full exposition: server instruments, point-in-time
+// gauges, and the engine-level cache/solver counters (package-wide
+// lifetime totals, the same counters core.Stats diffs per run).
+func (m *metrics) write(w io.Writer, g gaugeSnapshot) {
+	writeCounterFamily(w, "ivoryd_requests_total", "Finished HTTP requests by endpoint and status code.", m.requests.snapshot())
+	writeCounterFamily(w, "ivoryd_jobs_submitted_total", "Jobs admitted to the compute queue by endpoint.", m.jobsSubmitted.snapshot())
+	writeCounterFamily(w, "ivoryd_jobs_rejected_total", "Jobs shed with 429 because the queue was full, by endpoint.", m.jobsRejected.snapshot())
+
+	// Histogram family.
+	name := "ivoryd_request_duration_seconds"
+	_, _ = fmt.Fprintf(w, "# HELP %s Request wall time by endpoint.\n# TYPE %s histogram\n", name, name)
+	m.latency.mu.Lock()
+	labels := make([]string, 0, len(m.latency.m))
+	for k := range m.latency.m {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		h := m.latency.m[label]
+		for i, b := range latencyBuckets {
+			_, _ = fmt.Fprintf(w, "%s_bucket{%s,le=\"%s\"} %d\n", name, label,
+				strconv.FormatFloat(b, 'g', -1, 64), h.counts[i])
+		}
+		_, _ = fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, h.count)
+		_, _ = fmt.Fprintf(w, "%s_sum{%s} %s\n", name, label, strconv.FormatFloat(h.sum, 'g', -1, 64))
+		_, _ = fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, h.count)
+	}
+	m.latency.mu.Unlock()
+
+	writeGauge(w, "ivoryd_queue_depth", "Jobs accepted but not yet running.", float64(g.queueDepth))
+	writeGauge(w, "ivoryd_jobs_running", "Jobs currently executing on workers.", float64(g.running))
+	writeGauge(w, "ivoryd_flights_inflight", "Distinct computations in flight (after coalescing).", float64(g.inflight))
+	draining := 0.0
+	if g.draining {
+		draining = 1
+	}
+	writeGauge(w, "ivoryd_draining", "1 while the server is draining for shutdown.", draining)
+	writeGauge(w, "ivoryd_async_jobs_tracked", "Async job records currently retained.", float64(g.jobsTracked))
+
+	writeGauge(w, "ivoryd_result_cache_entries", "Entries in the LRU result cache.", float64(g.cacheEntries))
+	writeCounter(w, "ivoryd_result_cache_hits_total", "Result-cache hits.", g.cacheHits)
+	writeCounter(w, "ivoryd_result_cache_misses_total", "Result-cache misses.", g.cacheMisses)
+	writeCounter(w, "ivoryd_coalesced_requests_total", "Requests that joined an identical in-flight computation.", g.coalesced)
+	ratio := 0.0
+	if total := g.cacheHits + g.cacheMisses; total > 0 {
+		ratio = float64(g.cacheHits) / float64(total)
+	}
+	writeGauge(w, "ivoryd_result_cache_hit_ratio", "Lifetime result-cache hit ratio.", ratio)
+
+	// Engine-level counters (process-lifetime totals).
+	th, tm := topology.CacheStats()
+	writeCounter(w, "ivory_topology_cache_hits_total", "Topology analyze-memo hits.", th)
+	writeCounter(w, "ivory_topology_cache_misses_total", "Topology analyze-memo misses.", tm)
+	gc, gcg := grid.SolverStats()
+	writeCounter(w, "ivory_grid_solver_cholesky_total", "Grid solver contexts built on the banded Cholesky path.", gc)
+	writeCounter(w, "ivory_grid_solver_cg_total", "Grid solver contexts built on the conjugate-gradient fallback.", gcg)
+	ph, pm := pds.TraceCacheStats()
+	writeCounter(w, "ivory_pds_trace_cache_hits_total", "PDS core-current trace cache hits.", ph)
+	writeCounter(w, "ivory_pds_trace_cache_misses_total", "PDS core-current trace cache misses.", pm)
+}
+
+// parseExposition is shared with the tests: it maps "name{labels}" -> value
+// for every sample line in a text exposition.
+func parseExposition(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Async job tracking. A job here is bookkeeping around a flight: the
+// compute itself runs on the shared worker pool exactly like a synchronous
+// request (and coalesces with synchronous requests for the same hash); the
+// record is what GET /v1/jobs/{id} serves.
+
+// Job statuses.
+const (
+	// JobRunning covers queued-or-executing: the flight is unresolved.
+	JobRunning = "running"
+	// JobDone means the result is attached.
+	JobDone = "done"
+	// JobError means the computation failed (or was cancelled without a
+	// partial result).
+	JobError = "error"
+)
+
+// JobStatus is the wire form of one async job record.
+type JobStatus struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Hash is the request's cache/coalescing key; two jobs with one hash
+	// share one computation.
+	Hash       string `json:"hash"`
+	Status     string `json:"status"`
+	CreatedAt  string `json:"created_at"`
+	FinishedAt string `json:"finished_at,omitempty"`
+	// Result is the endpoint's response body, present once Status is done.
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+type jobRecord struct {
+	mu       sync.Mutex
+	id       string
+	kind     string
+	hash     string
+	status   string
+	created  time.Time
+	finished time.Time
+	result   any
+	err      string
+}
+
+func (j *jobRecord) complete(val any, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	if err != nil {
+		j.status = JobError
+		j.err = err.Error()
+		// A drain can resolve a flight with both a partial result and an
+		// error; keep the partial so the poller still gets the ranked
+		// prefix.
+		j.result = val
+		return
+	}
+	j.status = JobDone
+	j.result = val
+}
+
+func (j *jobRecord) snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := JobStatus{
+		ID:        j.id,
+		Kind:      j.kind,
+		Hash:      j.hash,
+		Status:    j.status,
+		CreatedAt: j.created.UTC().Format(time.RFC3339Nano),
+		Result:    j.result,
+		Error:     j.err,
+	}
+	if !j.finished.IsZero() {
+		s.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return s
+}
+
+// jobRegistry retains up to cap records, evicting the oldest once over
+// capacity (finished or not — an evicted running job keeps computing and
+// lands in the result cache; only its polling handle is gone).
+type jobRegistry struct {
+	mu    sync.Mutex
+	m     map[string]*jobRecord
+	order []string
+	cap   int
+}
+
+func newJobRegistry(capacity int) *jobRegistry {
+	return &jobRegistry{m: map[string]*jobRecord{}, cap: capacity}
+}
+
+func (r *jobRegistry) add(rec *jobRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[rec.id] = rec
+	r.order = append(r.order, rec.id)
+	for len(r.order) > r.cap {
+		delete(r.m, r.order[0])
+		r.order = r.order[1:]
+	}
+}
+
+func (r *jobRegistry) get(id string) (*jobRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.m[id]
+	return rec, ok
+}
+
+func (r *jobRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}
+
+// newJobID returns a 16-hex-char random identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of on supported platforms; fall
+		// back to a time-derived id rather than refusing the job.
+		return hex.EncodeToString([]byte(time.Now().Format("150405.000000000")))[:16]
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ivory/internal/core"
+	"ivory/internal/experiments"
+	"ivory/internal/parallel"
+)
+
+// Config sizes the serving subsystem. The zero value is usable: every
+// field has a production-shaped default.
+type Config struct {
+	// Workers is the number of jobs executing concurrently (the pool
+	// width). Each job additionally fans out EngineWorkers goroutines
+	// inside the engine, so total compute parallelism is roughly
+	// Workers x EngineWorkers; the defaults keep that near NumCPU.
+	// 0 selects 2 (or 1 on a single-core box).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet running; a full queue
+	// sheds load with 429 + Retry-After. 0 selects 16.
+	QueueDepth int
+	// EngineWorkers is the per-job engine worker count (core.Spec.Workers /
+	// TransientOptions.Workers). 0 selects NumCPU / Workers, floored at 1.
+	EngineWorkers int
+	// CacheEntries bounds the LRU result cache. 0 selects 128; negative
+	// disables caching.
+	CacheEntries int
+	// RequestTimeout is the per-job compute deadline (requests may lower
+	// it via timeout_ms, never raise it). 0 selects 60s.
+	RequestTimeout time.Duration
+	// JobHistory bounds retained async job records. 0 selects 256.
+	JobHistory int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+		if runtime.NumCPU() < 2 {
+			c.Workers = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = runtime.NumCPU() / c.Workers
+		if c.EngineWorkers < 1 {
+			c.EngineWorkers = 1
+		}
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 256
+	}
+}
+
+// ErrBusy is returned (as HTTP 429) when the job queue is full.
+var ErrBusy = errors.New("server: job queue full")
+
+// errDraining is returned (as HTTP 503) once shutdown has begun.
+var errDraining = errors.New("server: draining")
+
+// Server is the ivoryd serving core: admission control, the worker pool,
+// the result cache, singleflight coalescing, async job records, metrics,
+// and drain. Build with New, mount Handler on any http.Server or call
+// Serve, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	pool    *parallel.Pool
+	cache   *resultCache
+	flights *flightGroup
+	jobs    *jobRegistry
+	metrics *metrics
+
+	// baseCtx parents every job context; baseCancel fires when the drain
+	// window closes so in-flight engines return their ranked partials.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	panics   atomic.Int64
+
+	httpMu  sync.Mutex
+	httpSrv *http.Server
+
+	// Engine seams: production wiring in New, overridden in tests to pin
+	// queue/coalescing behavior without real compute.
+	explore   func(core.Spec) (*core.Result, error)
+	transient func(context.Context, experiments.TransientOptions) (*experiments.Fig10Result, error)
+}
+
+// New builds a Server from the config (zero value fine; see Config).
+func New(cfg Config) *Server {
+	cfg.defaults()
+	s := &Server{
+		cfg:       cfg,
+		cache:     newResultCache(cfg.CacheEntries),
+		flights:   newFlightGroup(),
+		jobs:      newJobRegistry(cfg.JobHistory),
+		metrics:   newMetrics(),
+		explore:   core.Explore,
+		transient: experiments.Fig10Run,
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	// The pool-level panic hook is a backstop; the per-job wrapper in
+	// execute already recovers and resolves the flight.
+	s.pool = parallel.NewPool(cfg.Workers, cfg.QueueDepth, func(*parallel.PanicError) {
+		s.panics.Add(1)
+	})
+	return s
+}
+
+// jobFunc computes one response. cacheable=false keeps partial or failed
+// results out of the LRU so a later identical request recomputes.
+type jobFunc func(ctx context.Context) (val any, err error, cacheable bool)
+
+// execute is the single admission path for both endpoints, sync and async:
+// result cache, then singleflight join, then bounded queue submission.
+// The returned flight is already resolved on a cache hit. ErrBusy means
+// the queue shed the job; errDraining means admission is closed.
+func (s *Server) execute(endpoint, hash string, timeout time.Duration, fn jobFunc) (*flight, error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	if v, ok := s.cache.Get(hash); ok {
+		f := &flight{done: make(chan struct{}), val: v}
+		close(f.done)
+		return f, nil
+	}
+	f, leader := s.flights.join(hash)
+	if !leader {
+		return f, nil
+	}
+	s.inflight.Add(1)
+	submitted := s.pool.TrySubmit(func() {
+		defer s.inflight.Done()
+		ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+		defer cancel()
+		var (
+			val       any
+			err       error
+			cacheable bool
+		)
+		// Contain job panics here so the flight always resolves; a waiter
+		// blocked on a flight whose job died would otherwise hang forever.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					s.panics.Add(1)
+					err = fmt.Errorf("server: %s job panicked: %v", endpoint, r)
+				}
+			}()
+			val, err, cacheable = fn(ctx)
+		}()
+		if err == nil && cacheable {
+			s.cache.Put(hash, val)
+		}
+		s.flights.finish(hash, f, val, err)
+	})
+	if !submitted {
+		s.inflight.Done()
+		s.metrics.jobsRejected.inc(endpointLabel(endpoint))
+		s.flights.abort(hash, f, ErrBusy)
+		return nil, ErrBusy
+	}
+	s.metrics.jobsSubmitted.inc(endpointLabel(endpoint))
+	return f, nil
+}
+
+// timeoutFor clamps a request's timeout_ms under the server deadline.
+func (s *Server) timeoutFor(timeoutMS int) time.Duration {
+	if timeoutMS <= 0 {
+		return s.cfg.RequestTimeout
+	}
+	d := time.Duration(timeoutMS) * time.Millisecond
+	if d > s.cfg.RequestTimeout {
+		return s.cfg.RequestTimeout
+	}
+	return d
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, mirroring net/http.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.Serve(l)
+}
+
+// Shutdown drains and stops the server:
+//
+//  1. admission closes — /healthz flips to 503 "draining", new jobs and
+//     submissions are refused;
+//  2. in-flight jobs drain to completion within ctx's deadline;
+//  3. if the deadline fires first, the base context is cancelled so every
+//     running engine returns promptly — explorations with their ranked
+//     partial results, which still resolve their waiting requests;
+//  4. the pool and the HTTP listener shut down.
+//
+// Shutdown is safe to call once; it returns ctx.Err() when the drain
+// window closed early, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		// Cancel compute; the engines poll their contexts inside the hot
+		// loops (PR3/PR4 contract), so this wait is prompt.
+		s.baseCancel()
+		<-drained
+	}
+	s.baseCancel()
+	s.pool.Close()
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.httpMu.Unlock()
+	if srv != nil {
+		// Give connection teardown its own short grace; draining already
+		// finished the actual work.
+		hctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if herr := srv.Shutdown(hctx); err == nil {
+			err = herr
+		}
+	}
+	return err
+}
+
+// gauges assembles the point-in-time snapshot for /metrics.
+func (s *Server) gauges() gaugeSnapshot {
+	hits, misses := s.cache.Stats()
+	return gaugeSnapshot{
+		queueDepth:   s.pool.Depth(),
+		running:      s.pool.Running(),
+		inflight:     s.flights.Inflight(),
+		draining:     s.draining.Load(),
+		cacheEntries: s.cache.Len(),
+		cacheHits:    hits,
+		cacheMisses:  misses,
+		coalesced:    s.flights.Coalesced(),
+		jobsTracked:  s.jobs.len(),
+	}
+}

@@ -1,0 +1,173 @@
+package spice
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseNetlistErrorMessages pins the parser's diagnostics: each failure
+// mode must name what went wrong and where, not just return "error". The
+// line prefix matters most — decks arrive from files, and "line 3" is the
+// difference between a fix and a hunt.
+func TestParseNetlistErrorMessages(t *testing.T) {
+	cases := []struct {
+		name, deck, want string
+	}{
+		{
+			name: "malformed card too few fields",
+			deck: "R1 in 0",
+			want: "at least 4 fields",
+		},
+		{
+			name: "unknown element letter",
+			deck: "Q1 b c 100",
+			want: `unknown element type "Q"`,
+		},
+		{
+			name: "unknown suffix on value",
+			deck: "R1 in 0 10q",
+			want: `unknown suffix "q"`,
+		},
+		{
+			name: "bad mantissa",
+			deck: "R1 in 0 ..5",
+			want: "bad number",
+		},
+		{
+			name: "unsupported directive",
+			deck: "R1 in 0 1k\n.tran 1n 1u",
+			want: "unsupported directive .TRAN",
+		},
+		{
+			name: "controlled source too few args",
+			deck: "E1 out 0 in",
+			want: "controlled source needs",
+		},
+		{
+			name: "switch too few args",
+			deck: "S1 a b 1",
+			want: "switch needs",
+		},
+		{
+			name: "CLK switch missing phase",
+			deck: "S1 a b 1 CLK 1meg",
+			want: "CLK switch needs",
+		},
+		{
+			name: "CLK phase out of range",
+			deck: "S1 a b 1 CLK 1meg 7",
+			want: "phase must be 1 or 2",
+		},
+		{
+			name: "unknown switch mode",
+			deck: "S1 a b 1 PWM 1meg 0.5",
+			want: `unknown switch mode "PWM"`,
+		},
+		{
+			name: "PULSE too few fields",
+			deck: "V1 in 0 PULSE 0 1 1u",
+			want: "PULSE needs",
+		},
+		{
+			name: "PWL odd field count",
+			deck: "I1 in 0 PWL 0 0 1u",
+			want: "even number",
+		},
+		{
+			name: "PWL non-increasing times",
+			deck: "V1 in 0 PWL 0 0 1u 1 1u 2",
+			want: "times must be increasing",
+		},
+		{
+			name: "bad initial condition",
+			deck: "C1 a 0 1n ic=bogus",
+			want: "bad number",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseNetlist(strings.NewReader(c.deck))
+			if err == nil {
+				t.Fatalf("deck %q parsed", c.deck)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestParseNetlistErrorNamesLine: a failing card is reported with its
+// 1-based line number (post comment/continuation folding) and its text.
+func TestParseNetlistErrorNamesLine(t *testing.T) {
+	deck := "* power stage\nR1 in mid 1k\nC1 mid 0 10nF\nQ9 mid 0 5\n"
+	_, err := ParseNetlist(strings.NewReader(deck))
+	if err == nil {
+		t.Fatal("bad deck parsed")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "Q9") {
+		t.Errorf("error %q lacks line number and offending card", err)
+	}
+}
+
+// TestParseNetlistDanglingContinuation: a "+" continuation with no card
+// before it cannot silently extend nothing — it must be rejected as a card
+// of its own (there is nothing correct to attach it to).
+func TestParseNetlistDanglingContinuation(t *testing.T) {
+	_, err := ParseNetlist(strings.NewReader("+ 1 0 10k\nR1 a 0 1k\n"))
+	if err == nil {
+		t.Fatal("leading continuation line parsed")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error %q does not point at the dangling continuation", err)
+	}
+}
+
+// TestParseNetlistNoElements: comment-only and directive-only decks are an
+// explicit "no elements" error, not an empty circuit that fails later.
+func TestParseNetlistNoElements(t *testing.T) {
+	for _, deck := range []string{
+		"",
+		"* just a comment\n* another\n",
+		".end\n",
+		"* header\n.end\n",
+	} {
+		_, err := ParseNetlist(strings.NewReader(deck))
+		if err == nil {
+			t.Errorf("deck %q parsed", deck)
+			continue
+		}
+		if !strings.Contains(err.Error(), "no elements") {
+			t.Errorf("deck %q: error %q, want a 'no elements' diagnostic", deck, err)
+		}
+	}
+}
+
+// TestParseValueErrorPaths covers the value lexer's rejects alongside the
+// accepted oddballs that sit right at the boundary.
+func TestParseValueErrorPaths(t *testing.T) {
+	bad := []string{"", "  ", "q", "10x", "--5", "1e", "1e+900meg"}
+	for _, s := range bad {
+		if v, err := ParseValue(s); err == nil {
+			t.Errorf("ParseValue(%q) = %g, want error", s, v)
+		}
+	}
+	good := map[string]float64{
+		"10nF":  10e-9, // trailing unit letters after the suffix are ignored
+		"3.3k":  3300,
+		"2meg":  2e6,
+		"1e3":   1000,
+		"-5m":   -5e-3,
+		"+2.5u": 2.5e-6,
+	}
+	for s, want := range good {
+		v, err := ParseValue(s)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", s, err)
+			continue
+		}
+		if diff := (v - want) / want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("ParseValue(%q) = %g, want %g", s, v, want)
+		}
+	}
+}

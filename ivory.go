@@ -39,6 +39,7 @@ import (
 	"ivory/internal/pdn"
 	"ivory/internal/pds"
 	"ivory/internal/sc"
+	"ivory/internal/server"
 	"ivory/internal/spice"
 	"ivory/internal/tech"
 	"ivory/internal/topology"
@@ -85,6 +86,50 @@ const (
 
 // Explore runs the design optimizer over the spec.
 func Explore(spec Spec) (*ExplorationResult, error) { return core.Explore(spec) }
+
+// ParseObjective maps "eff"/"area"/"noise" (or the canonical long forms)
+// to an Objective.
+func ParseObjective(s string) (Objective, error) { return core.ParseObjective(s) }
+
+// ParseKind maps "SC"/"buck"/"LDO" (case-insensitive) to a Kind.
+func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
+
+// Serving: the DTO schema and server core behind cmd/ivoryd. The same
+// types back `ivory explore -json`, so CLI output and service responses
+// are byte-compatible.
+type (
+	// SpecDTO is the JSON wire form of Spec (engine inputs only).
+	SpecDTO = server.SpecDTO
+	// ExploreRequest is the body of POST /v1/explore.
+	ExploreRequest = server.ExploreRequest
+	// ExploreResponse is a completed exploration in wire form.
+	ExploreResponse = server.ExploreResponse
+	// ExploreCandidate is one ranked design point in wire form.
+	ExploreCandidate = server.CandidateDTO
+	// TransientRequest is the body of POST /v1/transient.
+	TransientRequest = server.TransientRequest
+	// TransientResponse is a completed transient noise sweep in wire form.
+	TransientResponse = server.TransientResponse
+	// Server is the ivoryd serving core (queue, cache, metrics, drain).
+	Server = server.Server
+	// ServerConfig sizes a Server; the zero value uses production defaults.
+	ServerConfig = server.Config
+)
+
+// NewServer builds the ivoryd serving core.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewExploreResponse converts an exploration result — complete, or the
+// ranked partial of a cancelled run — into the shared wire form. runErr is
+// the error Explore returned alongside a partial result (nil when the run
+// completed).
+func NewExploreResponse(res *ExplorationResult, runErr error) *ExploreResponse {
+	return server.ExploreResponseFromResult(res, runErr)
+}
+
+// SpecHash returns the canonical cache/coalescing key of a normalized
+// spec (see Spec.Normalized).
+func SpecHash(spec Spec) string { return server.SpecHash(spec) }
 
 // ExploreDistribution evaluates every family at each distribution count.
 func ExploreDistribution(spec Spec, counts []int) (*DistributionTable, error) {

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the ivoryd daemon: build it, boot it on a
+# random port, probe /healthz, /v1/explore and /metrics, then SIGTERM it
+# and assert a clean drain ("ivoryd: drained cleanly", exit 0).
+#
+# Used by `make smoke` and the CI ivoryd-smoke job. Needs only bash, curl
+# and the go toolchain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+log="$workdir/ivoryd.log"
+cleanup() {
+    [ -n "${pid:-}" ] && kill -9 "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/ivoryd" ./cmd/ivoryd
+
+echo "== boot"
+"$workdir/ivoryd" -addr 127.0.0.1:0 -workers 1 -queue 4 -drain-timeout 20s >"$log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^ivoryd: listening on //p' "$log" | head -n 1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "ivoryd died during startup:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "ivoryd never printed its listen address:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+base="http://$addr"
+echo "   listening on $addr"
+
+echo "== probe /healthz"
+curl -fsS "$base/healthz" | grep -q '"status": "ok"'
+
+echo "== probe /v1/explore"
+curl -fsS -X POST "$base/v1/explore" \
+    -H 'Content-Type: application/json' \
+    -d '{"spec":{"node":"45nm","vin_v":1.8,"vout_v":0.9,"imax_a":1,"area_mm2":2},"top":3}' \
+    | grep -q '"spec_hash"'
+
+echo "== probe /metrics"
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^ivoryd_queue_depth'
+echo "$metrics" | grep -q 'ivoryd_requests_total{endpoint="explore",code="200"} 1'
+
+echo "== SIGTERM drain"
+kill -TERM "$pid"
+for _ in $(seq 1 300); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    echo "ivoryd still running 30s after SIGTERM:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+rc=0
+wait "$pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "ivoryd exited $rc after SIGTERM:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+grep -q 'drained cleanly' "$log" || {
+    echo "no clean-drain message in the log:" >&2
+    cat "$log" >&2
+    exit 1
+}
+
+echo "ivoryd smoke OK ($addr)"
