@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-full benchdiff experiments examples serve smoke clean
+.PHONY: all build test vet lint race bench bench-full benchdiff benchgate experiments examples serve smoke clean
 
 all: build vet lint test
 
@@ -12,8 +12,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Physics-aware static analysis (floatcmp, nonfinite, powsquare,
-# unitsuffix, droppederr); exits non-zero on any finding.
+# Physics- and concurrency-aware static analysis (floatcmp, nonfinite,
+# powsquare, unitsuffix, droppederr, unitflow, ctxflow, locksafe,
+# wgsafe); exits non-zero on any finding or stale //lint:ignore.
 lint:
 	$(GO) run ./cmd/ivory-lint ./...
 
@@ -40,6 +41,13 @@ OLD ?= BENCH_baseline.json
 NEW ?= BENCH_explore.json
 benchdiff:
 	$(GO) run ./cmd/ivory-benchdiff $(OLD) $(NEW)
+
+# Gating flavor of benchdiff, as CI runs it: fails when any shared
+# benchmark got more than FAIL_OVER (default 15) times slower than the
+# committed baseline. scripts/benchgate.sh is covered by a test in
+# cmd/ivory-benchdiff that seeds a >15x regression and asserts exit 1.
+benchgate:
+	./scripts/benchgate.sh $(OLD) $(NEW)
 
 # Full benchmark sweep over every package (raise -benchtime for stable
 # timings).

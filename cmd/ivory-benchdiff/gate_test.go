@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchGateScript runs scripts/benchgate.sh — the exact command CI's
+// gating step executes — against seeded bench files and checks both sides
+// of the gate: a >15x slowdown on a shared benchmark turns it red (exit
+// 1), while a mild regression plus added/removed benchmarks stays green.
+func TestBenchGateScript(t *testing.T) {
+	if _, err := exec.LookPath("bash"); err != nil {
+		t.Skip("bash not available")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(root, "scripts", "benchgate.sh")
+	if _, err := os.Stat(script); err != nil {
+		t.Fatalf("gate script missing: %v", err)
+	}
+
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	old := write("old.txt", `BenchmarkExplore-8	10	100 ns/op	64 B/op	2 allocs/op
+BenchmarkPlace-8	10	200 ns/op
+BenchmarkRetired-8	10	50 ns/op
+`)
+	// Explore regressed 20x (> the 15x gate); Place regressed 2x (noise);
+	// Retired disappeared and Fresh is new — neither may gate.
+	red := write("red.txt", `BenchmarkExplore-8	10	2000 ns/op	64 B/op	2 allocs/op
+BenchmarkPlace-8	10	400 ns/op
+BenchmarkFresh-8	10	1 ns/op
+`)
+	green := write("green.txt", `BenchmarkExplore-8	10	140 ns/op	64 B/op	2 allocs/op
+BenchmarkPlace-8	10	400 ns/op
+BenchmarkFresh-8	10	1 ns/op
+`)
+
+	run := func(oldF, newF string) (int, string) {
+		cmd := exec.Command("bash", script, oldF, newF)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			return 0, string(out)
+		}
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("gate script did not run: %v\n%s", err, out)
+		}
+		return ee.ExitCode(), string(out)
+	}
+
+	code, out := run(old, red)
+	if code != 1 {
+		t.Fatalf("20x regression: gate exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "regressed beyond") {
+		t.Errorf("red gate output does not name the regression:\n%s", out)
+	}
+
+	code, out = run(old, green)
+	if code != 0 {
+		t.Fatalf("mild regression + churn: gate exited %d, want 0\n%s", code, out)
+	}
+}

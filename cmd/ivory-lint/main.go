@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,12 +28,23 @@ import (
 	"ivory/internal/analysis"
 )
 
+// jsonDiagnostic is the -json wire format, one object per finding. The
+// field names are stable: CI tooling turns them into annotations.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
 	disable := flag.String("disable", "", "comma-separated analyzer names to skip")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	unitAllow := flag.String("unitsuffix.allow", "", "comma-separated extra unit tokens for the unitsuffix analyzer")
 	nonfinitePkgs := flag.String("nonfinite.pkgs", "", "comma-separated extra package suffixes for the nonfinite analyzer")
@@ -90,12 +102,28 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "ivory-lint:", err)
 		return 2
 	}
+	out := make([]jsonDiagnostic, 0, len(diags))
 	for _, d := range diags {
 		pos := d.Pos
 		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			pos.Filename = rel
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		out = append(out, jsonDiagnostic{
+			File: pos.Filename, Line: pos.Line, Column: pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "ivory-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range out {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ivory-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

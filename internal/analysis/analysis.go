@@ -87,6 +87,13 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	if tv, ok := p.Info.Types[e]; ok {
 		return tv.Type
 	}
+	// Idents on the left of := are definitions, not typed expressions;
+	// resolve them through their object like types.Info.TypeOf does.
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces the run-control contract PRs 3–4 established by hand:
+// a function that accepts a context.Context must actually thread it.
+//
+// Three findings:
+//
+//   - calling context.Background() or context.TODO() inside a function
+//     that already has a ctx parameter — the fresh context severs the
+//     caller's cancellation;
+//   - calling F(...) where the same package (or the receiver's method
+//     set) also defines FContext(...) — the ctx-less variant exists only
+//     as a compatibility wrapper, so calling it from a ctx-carrying
+//     function silently drops run control (net.Dial vs net.DialContext is
+//     the classic);
+//   - an outermost loop in a ctx-carrying function that calls back into
+//     this module yet never consults ctx anywhere in its body — neither
+//     ctx.Done()/ctx.Err() polling nor passing ctx (or a Spec carrying
+//     it) to a callee. Such a loop runs to completion after cancel,
+//     which is exactly the bug class the cancellable-exploration work
+//     eliminated.
+//
+// Loops whose bodies only do local arithmetic (no module calls) are
+// exempt: polling a few-microsecond loop would be noise. So are test
+// files.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context-carrying functions that drop, shadow, or fail to poll their context",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObj := ctxParam(pass, fd)
+			if ctxObj == nil {
+				continue
+			}
+			checkCtxBody(pass, fd, ctxObj)
+		}
+	}
+	return nil
+}
+
+// ctxParam returns the object of the function's context.Context parameter,
+// or nil when it has none (or it is blank — explicitly discarded).
+func ctxParam(pass *Pass, fd *ast.FuncDecl) types.Object {
+	for _, fld := range fd.Type.Params.List {
+		t := pass.TypeOf(fld.Type)
+		if t == nil || t.String() != "context.Context" {
+			continue
+		}
+		for _, name := range fld.Names {
+			if name.Name == "_" {
+				continue
+			}
+			return pass.Info.Defs[name]
+		}
+	}
+	return nil
+}
+
+func checkCtxBody(pass *Pass, fd *ast.FuncDecl, ctxObj types.Object) {
+	// `ctx = context.Background()` with ctx the parameter itself is the
+	// nil-guard idiom (`if ctx == nil { ... }`), not a severed context.
+	exempt := map[*ast.CallExpr]bool{}
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || pass.Info.Uses[id] != ctxObj || i >= len(n.Rhs) {
+					continue
+				}
+				if call, ok := n.Rhs[i].(*ast.CallExpr); ok {
+					exempt[call] = true
+				}
+			}
+		case *ast.Ident:
+			if pass.Info.Uses[n] == ctxObj {
+				used = true
+			}
+		case *ast.CallExpr:
+			if !exempt[n] {
+				checkCtxCall(pass, fd, n)
+			}
+		}
+		return true
+	})
+	if !used {
+		pass.Reportf(fd.Name.Pos(),
+			"%s takes a context but never uses it; cancellation cannot propagate (name the parameter _ if that is intentional)",
+			fd.Name.Name)
+	}
+	// Outermost loops only: an inner loop is the outer poll's
+	// responsibility once per outer iteration.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			checkCtxLoop(pass, ctxObj, n)
+			return false
+		case *ast.FuncLit:
+			return false // a literal runs on its own schedule; judged by its captures elsewhere
+		}
+		return true
+	})
+}
+
+// checkCtxCall reports fresh-context calls and ctx-less calls that have a
+// Context-suffixed sibling.
+func checkCtxCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+		pass.Reportf(call.Pos(),
+			"context.%s() inside %s severs the caller's cancellation; thread the ctx parameter instead",
+			fn.Name(), fd.Name.Name)
+		return
+	}
+	name := fn.Name()
+	if len(name) >= len("Context") && name[len(name)-len("Context"):] == "Context" {
+		return // already the threading variant
+	}
+	if sibling := contextSibling(fn); sibling != nil {
+		pass.Reportf(call.Pos(),
+			"%s drops the context: call %s and pass ctx", name, sibling.Name())
+	}
+}
+
+// contextSibling finds FContext next to F: for methods, in the receiver's
+// method set; for package functions, in the defining package's scope.
+func contextSibling(fn *types.Func) *types.Func {
+	want := fn.Name() + "Context"
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
+		if m, ok := obj.(*types.Func); ok && takesContext(m) {
+			return m
+		}
+		return nil
+	}
+	if m, ok := fn.Pkg().Scope().Lookup(want).(*types.Func); ok && takesContext(m) {
+		return m
+	}
+	return nil
+}
+
+// takesContext reports whether fn's first parameter is a context.Context.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return sig.Params().At(0).Type().String() == "context.Context"
+}
+
+// checkCtxLoop flags an (outermost) loop that does module work but never
+// consults the context.
+func checkCtxLoop(pass *Pass, ctxObj types.Object, loop ast.Node) {
+	mentionsCtx := false
+	callsModule := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if pass.Info.Uses[n] == ctxObj {
+				mentionsCtx = true
+			}
+		case *ast.CallExpr:
+			if fn := pass.CalleeFunc(n); fn != nil && sameModule(pass, fn) {
+				callsModule = true
+			}
+		}
+		return true
+	})
+	if callsModule && !mentionsCtx {
+		pass.Reportf(loop.Pos(),
+			"loop calls back into the module but never consults ctx; poll ctx.Err() (or pass ctx to a callee) so cancellation can stop it")
+	}
+}
+
+// sameModule reports whether fn is defined in this module — same package,
+// or an import path sharing the module's leading path segment.
+func sameModule(pass *Pass, fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg() == pass.Pkg {
+		return true
+	}
+	return firstSegment(fn.Pkg().Path()) == firstSegment(pass.Pkg.Path())
+}
+
+func firstSegment(path string) string {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return path
+}

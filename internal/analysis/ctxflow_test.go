@@ -1,0 +1,95 @@
+package analysis
+
+import "testing"
+
+func TestCtxFlowGolden(t *testing.T) {
+	pkg := fixturePkg(t, "fix/ctxflow", map[string]string{
+		"cf.go": `package fix
+
+import "context"
+
+func work() {}
+
+func workContext(_ context.Context) {}
+
+func Run(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		work()
+	}
+	return ctx.Err()
+}
+
+func Sever(ctx context.Context) error {
+	_ = ctx
+	c2 := context.Background()
+	return c2.Err()
+}
+
+func Unused(ctx context.Context) int {
+	return 1
+}
+
+func Drop(ctx context.Context) {
+	work()
+	_ = ctx
+}
+`,
+	})
+	runGolden(t, CtxFlow, pkg, []string{
+		"cf.go:10:2: [ctxflow] loop calls back into the module but never consults ctx; poll ctx.Err() (or pass ctx to a callee) so cancellation can stop it",
+		"cf.go:11:3: [ctxflow] work drops the context: call workContext and pass ctx",
+		"cf.go:18:8: [ctxflow] context.Background() inside Sever severs the caller's cancellation; thread the ctx parameter instead",
+		"cf.go:22:6: [ctxflow] Unused takes a context but never uses it; cancellation cannot propagate (name the parameter _ if that is intentional)",
+		"cf.go:27:2: [ctxflow] work drops the context: call workContext and pass ctx",
+	})
+}
+
+// TestCtxFlowSilent pins the idioms ctxflow must accept: the nil-guard
+// default, loops that poll ctx.Err(), loops that pass ctx to a callee,
+// call-free arithmetic loops, and a blank ctx parameter.
+func TestCtxFlowSilent(t *testing.T) {
+	pkg := fixturePkg(t, "fix/ctxflowok", map[string]string{
+		"ok.go": `package fix
+
+import "context"
+
+func step() {}
+
+func workContext(_ context.Context) {}
+
+func Guard(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx.Err()
+}
+
+func Poll(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		step()
+	}
+}
+
+func Thread(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		workContext(ctx)
+	}
+}
+
+func Arith(ctx context.Context, n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	_ = ctx
+	return s
+}
+
+func Opted(_ context.Context) {}
+`,
+	})
+	runGolden(t, CtxFlow, pkg, nil)
+}

@@ -268,6 +268,46 @@ func g(a, b float64) bool {
 	})
 }
 
+// TestStaleIgnore pins the stale-directive contract: a directive that
+// suppressed a finding stays silent, one that suppresses nothing is
+// itself reported, and one naming an analyzer that did not run (disabled
+// or absent from the Runner) is exempt.
+func TestStaleIgnore(t *testing.T) {
+	pkg := fixturePkg(t, "fix/stale", map[string]string{
+		"st.go": `package fix
+
+func eq(a, b float64) bool {
+	//lint:ignore floatcmp exact sentinel comparison
+	return a == b
+}
+
+func ne(a, b float64) bool {
+	//lint:ignore floatcmp nothing on the next line compares floats
+	return a < b
+}
+
+func lt(a, b float64) bool {
+	//lint:ignore droppederr that analyzer is not running here
+	return a < b
+}
+`,
+	})
+	runGolden(t, FloatCmp, pkg, []string{
+		"st.go:9:2: [ignore] stale //lint:ignore floatcmp: it suppresses nothing on this or the next line; delete it",
+	})
+
+	// With floatcmp disabled, its directives are exempt from staleness:
+	// the analyzer that might have matched never ran.
+	r := &Runner{Analyzers: []*Analyzer{FloatCmp}, Disabled: map[string]bool{"floatcmp": true}}
+	diags, err := r.Run([]*Package{pkg})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("directives for a disabled analyzer reported stale: %v", diags)
+	}
+}
+
 func TestRunnerDisable(t *testing.T) {
 	pkg := fixturePkg(t, "fix/disable", map[string]string{
 		"ds.go": `package fix

@@ -30,6 +30,11 @@ type Package struct {
 	// Types and Info are the go/types results.
 	Types *types.Package
 	Info  *types.Info
+	// TypeErrors holds the type errors of a package that failed to check
+	// cleanly. Such a package still carries its (partial) Types/Info so
+	// syntactic analyzers can run; the runner surfaces each entry as a
+	// "typecheck" diagnostic.
+	TypeErrors []types.Error
 }
 
 // Load parses and typechecks every package matched by patterns, relative
@@ -39,6 +44,10 @@ type Package struct {
 // go/importer, so the module's own packages and the standard library are
 // both available without compiled artifacts.
 func Load(dir string, patterns []string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
 	root, modPath, err := moduleRoot(dir)
 	if err != nil {
 		return nil, err
@@ -208,7 +217,10 @@ func loadDir(fset *token.FileSet, imp types.Importer, root, modPath, dir string)
 	return pkgs, nil
 }
 
-// check typechecks one package's files.
+// check typechecks one package's files. A package with type errors is
+// not fatal: it loads in degraded mode, carrying whatever partial type
+// information go/types produced plus the errors themselves, so syntactic
+// analyzers still run and the runner can report the errors in place.
 func check(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -216,14 +228,27 @@ func check(fset *token.FileSet, imp types.Importer, path string, files []*ast.Fi
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
-	var typeErrs []error
+	var typeErrs []types.Error
 	conf := types.Config{
 		Importer: imp,
-		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		Error: func(err error) {
+			if te, ok := err.(types.Error); ok {
+				typeErrs = append(typeErrs, te)
+				return
+			}
+			typeErrs = append(typeErrs, types.Error{Fset: fset, Msg: err.Error()})
+		},
 	}
 	tpkg, _ := conf.Check(path, fset, files, info)
-	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("typecheck: %w (and %d more)", typeErrs[0], len(typeErrs)-1)
+	if tpkg == nil {
+		tpkg = types.NewPackage(path, pkgNameOf(files))
 	}
-	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info, TypeErrors: typeErrs}, nil
+}
+
+func pkgNameOf(files []*ast.File) string {
+	if len(files) > 0 {
+		return files[0].Name.Name
+	}
+	return "p"
 }

@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadDegradedTypecheck pins the loader's behavior on a package that
+// does not typecheck: Load must not fail, the package must carry its type
+// errors, and the runner must both surface them as "typecheck"
+// diagnostics and still run the analyzers over the partial type info.
+func TestLoadDegradedTypecheck(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src", "broken"), []string{"."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("packages: got %d, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if len(pkg.TypeErrors) == 0 {
+		t.Fatal("TypeErrors: empty, want the undefined-identifier error")
+	}
+	if msg := pkg.TypeErrors[0].Msg; !strings.Contains(msg, "undefinedThing") {
+		t.Errorf("TypeErrors[0] = %q, want mention of undefinedThing", msg)
+	}
+	if pkg.Types == nil || pkg.Info == nil {
+		t.Fatal("degraded package must still carry partial Types/Info")
+	}
+
+	r := &Runner{Analyzers: All()}
+	diags, err := r.Run(pkgs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var haveTypecheck, haveFloatcmp bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "typecheck":
+			haveTypecheck = true
+			if !strings.HasSuffix(d.Pos.Filename, "broken.go") || d.Pos.Line == 0 {
+				t.Errorf("typecheck diagnostic lacks a position: %s", d)
+			}
+		case "floatcmp":
+			haveFloatcmp = true
+		}
+	}
+	if !haveTypecheck {
+		t.Errorf("no typecheck diagnostic in %q", diags)
+	}
+	if !haveFloatcmp {
+		t.Errorf("no floatcmp diagnostic in %q — analyzers must still run on degraded packages", diags)
+	}
+}

@@ -1,0 +1,314 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafe guards the mutex discipline the worker pool, result cache, and
+// ivoryd drain logic rely on. Four findings, all function-local and
+// heuristic (no interprocedural or path-sensitive reasoning):
+//
+//   - a value (non-pointer) receiver, parameter, result, or assignment
+//     whose type contains a sync.Mutex/RWMutex/WaitGroup/Once/Cond —
+//     copying the value forks the lock state (go vet's copylocks, kept
+//     here so the lint gate is self-contained);
+//   - Lock/RLock with no matching Unlock/RUnlock anywhere in the same
+//     function, deferred or not;
+//   - a return statement between a Lock and its first matching plain
+//     (non-deferred) Unlock — the early return leaks the lock;
+//   - two Locks of the same receiver expression in the same statement
+//     list with no Unlock between them — a guaranteed self-deadlock.
+//
+// Receivers are matched textually (types.ExprString of the expression
+// before .Lock), which is exact for the field-selector chains used in
+// this module.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flag mutex copies, lock/unlock imbalance, and double-lock on the same receiver",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(pass, fd)
+			if fd.Body != nil {
+				checkLockBalance(pass, fd)
+				checkDoubleLock(pass, fd.Body)
+			}
+		}
+		// Copies can also happen at package level or inside closures;
+		// sweep assignments and range clauses everywhere.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkAssignCopiesLock(pass, n)
+			case *ast.RangeStmt:
+				if n.Value != nil && containsLock(pass.TypeOf(n.Value)) {
+					pass.Reportf(n.Value.Pos(),
+						"range copies a value containing a lock; iterate by index or over pointers")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLockCopies flags lock-bearing value receivers, params, and results.
+func checkLockCopies(pass *Pass, fd *ast.FuncDecl) {
+	flagField := func(fld *ast.Field, what string) {
+		t := pass.TypeOf(fld.Type)
+		if _, isPtr := t.(*types.Pointer); isPtr || !containsLock(t) {
+			return
+		}
+		pass.Reportf(fld.Type.Pos(),
+			"%s of %s passes a lock by value; use a pointer", what, fd.Name.Name)
+	}
+	if fd.Recv != nil {
+		for _, fld := range fd.Recv.List {
+			flagField(fld, "receiver")
+		}
+	}
+	for _, fld := range fd.Type.Params.List {
+		flagField(fld, "parameter")
+	}
+	if fd.Type.Results != nil {
+		for _, fld := range fd.Type.Results.List {
+			flagField(fld, "result")
+		}
+	}
+}
+
+// checkAssignCopiesLock flags x = y / x := y where the assigned value
+// contains a lock and is not a fresh composite literal or address/new.
+func checkAssignCopiesLock(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		switch rhs.(type) {
+		case *ast.CompositeLit, *ast.UnaryExpr, *ast.CallExpr:
+			continue // fresh value, address-of, or constructor: no shared state yet
+		}
+		if containsLock(pass.TypeOf(rhs)) {
+			pass.Reportf(as.Lhs[i].Pos(),
+				"assignment copies a value containing a lock; use a pointer")
+		}
+	}
+}
+
+// containsLock reports whether t (after peeling named types) is or embeds
+// a sync lock type. Pointers do not propagate: *T shares, not copies.
+func containsLock(t types.Type) bool {
+	return lockIn(t, 0)
+}
+
+func lockIn(t types.Type, depth int) bool {
+	if t == nil || depth > 10 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return true
+			}
+		}
+		return lockIn(named.Underlying(), depth+1)
+	}
+	if st, ok := t.(*types.Struct); ok {
+		for i := 0; i < st.NumFields(); i++ {
+			if lockIn(st.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	if arr, ok := t.(*types.Array); ok {
+		return lockIn(arr.Elem(), depth+1)
+	}
+	return false
+}
+
+// lockEvent is one Lock/Unlock call site inside a function.
+type lockEvent struct {
+	call     *ast.CallExpr
+	recv     string // receiver path, e.g. "p.mu"
+	read     bool   // RLock/RUnlock
+	acquire  bool   // Lock/RLock vs Unlock/RUnlock
+	deferred bool
+}
+
+// lockEvents collects all sync lock-method calls in body, in source order.
+func lockEvents(pass *Pass, body *ast.BlockStmt) []lockEvent {
+	var evs []lockEvent
+	var inDefer *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			inDefer = d.Call
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ev := lockEvent{call: call, recv: types.ExprString(sel.X), deferred: call == inDefer}
+		switch fn.Name() {
+		case "Lock":
+			ev.acquire = true
+		case "RLock":
+			ev.acquire, ev.read = true, true
+		case "Unlock":
+		case "RUnlock":
+			ev.read = true
+		default:
+			return true
+		}
+		evs = append(evs, ev)
+		return true
+	})
+	return evs
+}
+
+// checkLockBalance reports locks never released and returns that leak a
+// held lock past a non-deferred unlock.
+func checkLockBalance(pass *Pass, fd *ast.FuncDecl) {
+	evs := lockEvents(pass, fd.Body)
+	type key struct {
+		recv string
+		read bool
+	}
+	for i, ev := range evs {
+		if !ev.acquire {
+			continue
+		}
+		k := key{ev.recv, ev.read}
+		// Find a matching release later in the function (deferred
+		// releases registered earlier also count: defer runs at exit).
+		hasDefer := false
+		var release *lockEvent
+		for j := range evs {
+			o := &evs[j]
+			if o.acquire || (key{o.recv, o.read}) != k {
+				continue
+			}
+			if o.deferred {
+				hasDefer = true
+			} else if j > i && release == nil {
+				release = o
+			}
+		}
+		if !hasDefer && release == nil {
+			pass.Reportf(ev.call.Pos(),
+				"%s is %sed but never released in %s",
+				ev.recv, lockName(ev.read), fd.Name.Name)
+			continue
+		}
+		if !hasDefer && release != nil {
+			reportReturnsBetween(pass, fd, ev.call.End(), release.call.Pos(), ev.recv)
+		}
+	}
+}
+
+func lockName(read bool) string {
+	if read {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// reportReturnsBetween flags return statements positioned between a Lock
+// and its first plain Unlock when no defer covers the receiver: the early
+// return exits with the lock held.
+func reportReturnsBetween(pass *Pass, fd *ast.FuncDecl, lo, hi token.Pos, recv string) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a closure's returns don't exit this function
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() <= lo || ret.Pos() >= hi {
+			return true
+		}
+		pass.Reportf(ret.Pos(),
+			"return leaves %s locked: the Unlock below is not deferred and this path skips it", recv)
+		return true
+	})
+}
+
+// checkDoubleLock walks every statement list and flags a second Lock of
+// the same receiver with no intervening Unlock in that list. The scan is
+// per-BlockStmt so mutually exclusive branches never alias; nested
+// control flow conservatively clears all held state.
+func checkDoubleLock(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		blk, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		held := map[string]bool{} // recv+mode currently locked in this list
+		for _, stmt := range blk.List {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				// defer Unlock doesn't release mid-list; any other
+				// compound statement may lock/unlock on its own paths.
+				if _, isDefer := stmt.(*ast.DeferStmt); !isDefer && !isSimpleStmt(stmt) {
+					held = map[string]bool{}
+				}
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+				continue
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			k := types.ExprString(sel.X) + "/" + fn.Name()
+			switch fn.Name() {
+			case "Lock", "RLock":
+				if held[k] {
+					pass.Reportf(call.Pos(),
+						"%s.%s is already held here; locking it again deadlocks",
+						types.ExprString(sel.X), fn.Name())
+				}
+				held[k] = true
+			case "Unlock":
+				delete(held, types.ExprString(sel.X)+"/Lock")
+			case "RUnlock":
+				delete(held, types.ExprString(sel.X)+"/RLock")
+			}
+		}
+		return true
+	})
+}
+
+// isSimpleStmt reports statements that cannot themselves lock or unlock
+// (so a linear double-lock scan may safely step over them).
+func isSimpleStmt(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt:
+		return true
+	case *ast.ExprStmt:
+		_ = s
+		return true
+	}
+	return false
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import "testing"
+
+func TestLockSafeGolden(t *testing.T) {
+	pkg := fixturePkg(t, "fix/locksafe", map[string]string{
+		"ls.go": `package fix
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s S) ValueRecv() int {
+	return s.n
+}
+
+func TakeByValue(s S) int {
+	return s.n
+}
+
+func Leak(s *S, bad bool) int {
+	s.mu.Lock()
+	if bad {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+func Never(s *S) {
+	s.mu.Lock()
+	s.n++
+}
+
+func Double(s *S) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func Copy(s *S) int {
+	t := *s
+	return t.n
+}
+`,
+	})
+	runGolden(t, LockSafe, pkg, []string{
+		"ls.go:10:9: [locksafe] receiver of ValueRecv passes a lock by value; use a pointer",
+		"ls.go:14:20: [locksafe] parameter of TakeByValue passes a lock by value; use a pointer",
+		"ls.go:21:3: [locksafe] return leaves s.mu locked: the Unlock below is not deferred and this path skips it",
+		"ls.go:28:2: [locksafe] s.mu is Locked but never released in Never",
+		"ls.go:35:2: [locksafe] s.mu.Lock is already held here; locking it again deadlocks",
+		"ls.go:42:2: [locksafe] assignment copies a value containing a lock; use a pointer",
+	})
+}
+
+// TestLockSafeSilent pins the disciplined shapes: deferred unlock,
+// sequential lock/unlock pairs, RLock with deferred RUnlock, and pointer
+// aliasing (which shares rather than copies).
+func TestLockSafeSilent(t *testing.T) {
+	pkg := fixturePkg(t, "fix/locksafeok", map[string]string{
+		"ok.go": `package fix
+
+import "sync"
+
+type S struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func Fine(s *S) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func Read(s *S) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func Sequential(s *S) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.n--
+	s.mu.Unlock()
+}
+
+func Alias(s *S) int {
+	t := s
+	return t.n
+}
+`,
+	})
+	runGolden(t, LockSafe, pkg, nil)
+}

@@ -3,10 +3,14 @@ package analysis
 // All returns the full analyzer suite in reporting order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		CtxFlow,
 		DroppedErr,
 		FloatCmp,
+		LockSafe,
 		NonFinite,
 		PowSquare,
+		UnitFlow,
 		UnitSuffix,
+		WGSafe,
 	}
 }

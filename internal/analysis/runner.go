@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"sort"
 	"strings"
 )
@@ -20,8 +21,9 @@ type Runner struct {
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
 	names  map[string]bool // analyzer names it suppresses
-	line   int             // line the comment sits on
+	pos    token.Position  // where the comment sits
 	broken string          // non-empty: malformed-directive message
+	used   bool            // suppressed at least one diagnostic this run
 }
 
 // Run executes the enabled analyzers over pkgs. A diagnostic is dropped
@@ -32,6 +34,15 @@ type ignoreDirective struct {
 func (r *Runner) Run(pkgs []*Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		// A degraded package reports its type errors in place and still
+		// runs the analyzers over whatever partial type info survived.
+		for _, te := range pkg.TypeErrors {
+			pos := token.Position{Filename: pkg.Dir}
+			if te.Fset != nil && te.Pos.IsValid() {
+				pos = te.Fset.Position(te.Pos)
+			}
+			diags = append(diags, Diagnostic{Pos: pos, Analyzer: "typecheck", Message: te.Msg})
+		}
 		for _, a := range r.Analyzers {
 			if r.Disabled[a.Name] {
 				continue
@@ -67,10 +78,11 @@ func (r *Runner) Run(pkgs []*Package) ([]Diagnostic, error) {
 }
 
 // suppress applies ignore directives and appends diagnostics for
-// malformed ones.
+// malformed and stale ones.
 func (r *Runner) suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 	// filename -> line -> directives on that line.
-	byFile := map[string]map[int][]ignoreDirective{}
+	byFile := map[string]map[int][]*ignoreDirective{}
+	var all []*ignoreDirective
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -79,17 +91,18 @@ func (r *Runner) suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 					if !ok {
 						continue
 					}
-					pos := pkg.Fset.Position(c.Pos())
-					d.line = pos.Line
-					m := byFile[pos.Filename]
+					d.pos = pkg.Fset.Position(c.Pos())
+					m := byFile[d.pos.Filename]
 					if m == nil {
-						m = map[int][]ignoreDirective{}
-						byFile[pos.Filename] = m
+						m = map[int][]*ignoreDirective{}
+						byFile[d.pos.Filename] = m
 					}
-					m[pos.Line] = append(m[pos.Line], d)
+					dir := &d
+					m[d.pos.Line] = append(m[d.pos.Line], dir)
+					all = append(all, dir)
 					if d.broken != "" {
 						diags = append(diags, Diagnostic{
-							Pos:      pos,
+							Pos:      d.pos,
 							Analyzer: "ignore",
 							Message:  d.broken,
 						})
@@ -105,10 +118,50 @@ func (r *Runner) suppress(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 		}
 		kept = append(kept, d)
 	}
+	// A directive that suppressed nothing is stale — the code it excused
+	// was fixed or moved, and a rotten suppression would hide the next
+	// real finding at its line. A directive naming any analyzer that did
+	// not run (disabled, or absent from this Runner) is exempt: the
+	// analyzer that might have matched never had the chance.
+	ran := map[string]bool{}
+	for _, a := range r.Analyzers {
+		if !r.Disabled[a.Name] {
+			ran[a.Name] = true
+		}
+	}
+	for _, dir := range all {
+		if dir.broken != "" || dir.used {
+			continue
+		}
+		allRan := true
+		for n := range dir.names {
+			if !ran[n] {
+				allRan = false
+			}
+		}
+		if !allRan {
+			continue
+		}
+		kept = append(kept, Diagnostic{
+			Pos:      dir.pos,
+			Analyzer: "ignore",
+			Message: fmt.Sprintf("stale //lint:ignore %s: it suppresses nothing on this or the next line; delete it",
+				joinNames(dir.names)),
+		})
+	}
 	return kept
 }
 
-func suppressed(byFile map[string]map[int][]ignoreDirective, d Diagnostic) bool {
+func joinNames(names map[string]bool) string {
+	var ns []string
+	for n := range names {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return strings.Join(ns, ",")
+}
+
+func suppressed(byFile map[string]map[int][]*ignoreDirective, d Diagnostic) bool {
 	lines := byFile[d.Pos.Filename]
 	if lines == nil {
 		return false
@@ -117,6 +170,7 @@ func suppressed(byFile map[string]map[int][]ignoreDirective, d Diagnostic) bool 
 	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
 		for _, dir := range lines[ln] {
 			if dir.broken == "" && dir.names[d.Analyzer] {
+				dir.used = true
 				return true
 			}
 		}

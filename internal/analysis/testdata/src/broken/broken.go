@@ -1,0 +1,17 @@
+// Package broken is a lint-loader corpus fixture: it deliberately fails
+// to typecheck (undefined identifier) while still containing a finding a
+// syntactic analyzer can reach, pinning the degraded-typecheck path.
+package broken
+
+var _ = undefinedThing
+
+// Close compares floats for equality so floatcmp has something to report
+// even though the package carries a type error.
+func Close() float64 {
+	x := 0.1
+	y := 0.2
+	if x == y {
+		return 1
+	}
+	return 0
+}

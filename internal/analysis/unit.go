@@ -1,0 +1,363 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unit is a dimension vector over the four base dimensions Ivory's models
+// mix — volts, amperes, seconds, metres — forming the unit-inference
+// lattice of the unitflow analyzer. Every electrical quantity the paper
+// ranks on decomposes over this basis:
+//
+//	Hz = s⁻¹      F = A·s/V     H = V·s/A    Ω = V/A
+//	S  = A/V      W = V·A       J = V·A·s    m² = m²
+//
+// so multiplication and division of quantities reduce to integer vector
+// addition and subtraction, and a mixed-unit add/compare is a vector
+// inequality. Scale prefixes (MHz vs Hz, mm² vs m²) share one dimension:
+// the lattice checks dimensional consistency, not magnitudes.
+//
+// Three lattice points matter beyond concrete vectors:
+//
+//   - unknown (the zero Unit): no information. Unknown absorbs every
+//     operation and never produces a finding — the analyzer's way of
+//     staying silent rather than guessing.
+//   - wild: a bare numeric constant (0.5, 1e-6, routingTax). Constants are
+//     scale factors by convention, compatible with every unit.
+//   - dimensionless: a *known* zero vector (Duty, Eff, Ratio, ...).
+//     Unlike wild, adding a dimensionless quantity to volts is a finding.
+type Unit struct {
+	// Known marks a concrete lattice point; the zero Unit is "unknown".
+	Known bool
+	// Wild marks a numeric constant, compatible with any unit.
+	Wild bool
+	// V, A, S, M are the exponents of volts, amperes, seconds, metres.
+	V, A, S, M int8
+}
+
+// Convenience constructors for the derived units of the codebase.
+var (
+	unitUnknown       = Unit{}
+	unitWild          = Unit{Known: true, Wild: true}
+	unitDimensionless = Unit{Known: true}
+	unitVolt          = Unit{Known: true, V: 1}
+	unitAmp           = Unit{Known: true, A: 1}
+	unitSecond        = Unit{Known: true, S: 1}
+	unitMetre         = Unit{Known: true, M: 1}
+	unitM2            = Unit{Known: true, M: 2}
+	unitHertz         = Unit{Known: true, S: -1}
+	unitFarad         = Unit{Known: true, V: -1, A: 1, S: 1}
+	unitHenry         = Unit{Known: true, V: 1, A: -1, S: 1}
+	unitOhm           = Unit{Known: true, V: 1, A: -1}
+	unitSiemens       = Unit{Known: true, V: -1, A: 1}
+	unitWatt          = Unit{Known: true, V: 1, A: 1}
+	unitJoule         = Unit{Known: true, V: 1, A: 1, S: 1}
+)
+
+// sameDim reports whether two known, non-wild units share a dimension
+// vector.
+func (u Unit) sameDim(v Unit) bool {
+	return u.V == v.V && u.A == v.A && u.S == v.S && u.M == v.M
+}
+
+// Compatible reports whether the two units can meet in an add, compare,
+// or assignment without a finding: either is unknown or wild, or the
+// dimension vectors agree.
+func (u Unit) Compatible(v Unit) bool {
+	if !u.Known || !v.Known || u.Wild || v.Wild {
+		return true
+	}
+	return u.sameDim(v)
+}
+
+// Mul combines units across a multiplication. Wild is the identity;
+// unknown absorbs.
+func (u Unit) Mul(v Unit) Unit {
+	if !u.Known || !v.Known {
+		return unitUnknown
+	}
+	if u.Wild {
+		return v
+	}
+	if v.Wild {
+		return u
+	}
+	return Unit{Known: true, V: u.V + v.V, A: u.A + v.A, S: u.S + v.S, M: u.M + v.M}
+}
+
+// Div combines units across a division.
+func (u Unit) Div(v Unit) Unit {
+	return u.Mul(v.Recip())
+}
+
+// Recip inverts the dimension vector.
+func (u Unit) Recip() Unit {
+	if !u.Known || u.Wild {
+		return u
+	}
+	return Unit{Known: true, V: -u.V, A: -u.A, S: -u.S, M: -u.M}
+}
+
+// Pow raises the unit to an integer power.
+func (u Unit) Pow(n int) Unit {
+	if !u.Known || u.Wild {
+		return u
+	}
+	return Unit{Known: true, V: u.V * int8(n), A: u.A * int8(n), S: u.S * int8(n), M: u.M * int8(n)}
+}
+
+// Sqrt halves every exponent; a vector with an odd exponent has no exact
+// square root in the lattice and degrades to unknown (R_out =
+// sqrt(R_SSL²+R_FSL²) stays ohms; sqrt of seconds stays silent).
+func (u Unit) Sqrt() Unit {
+	if !u.Known || u.Wild {
+		return u
+	}
+	if u.V%2 != 0 || u.A%2 != 0 || u.S%2 != 0 || u.M%2 != 0 {
+		return unitUnknown
+	}
+	return Unit{Known: true, V: u.V / 2, A: u.A / 2, S: u.S / 2, M: u.M / 2}
+}
+
+// unitNames maps the derived units back to their conventional symbols for
+// diagnostics.
+var unitNames = []struct {
+	u    Unit
+	name string
+}{
+	{unitVolt, "V"},
+	{unitAmp, "A"},
+	{unitSecond, "s"},
+	{unitMetre, "m"},
+	{unitM2, "m²"},
+	{unitHertz, "Hz"},
+	{unitFarad, "F"},
+	{unitHenry, "H"},
+	{unitOhm, "Ω"},
+	{unitSiemens, "S"},
+	{unitWatt, "W"},
+	{unitJoule, "J"},
+}
+
+func (u Unit) String() string {
+	if !u.Known {
+		return "?"
+	}
+	if u.Wild {
+		return "const"
+	}
+	if u.sameDim(unitDimensionless) {
+		return "dimensionless"
+	}
+	for _, d := range unitNames {
+		if u.sameDim(d.u) {
+			return d.name
+		}
+	}
+	// Fall back to an exponent product over the base dimensions.
+	var parts []string
+	for _, b := range []struct {
+		exp  int8
+		name string
+	}{{u.V, "V"}, {u.A, "A"}, {u.S, "s"}, {u.M, "m"}} {
+		switch {
+		case b.exp == 0:
+		case b.exp == 1:
+			parts = append(parts, b.name)
+		default:
+			parts = append(parts, fmt.Sprintf("%s^%d", b.name, b.exp))
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// tokenUnits maps lower-cased CamelCase name tokens to units: the PR 1
+// suffix conventions (Hz, V, A, W, M2, FPerM2, HPerM2, ...) plus their
+// scale variants. Scale prefixes share the base dimension — the lattice
+// checks dimensions, not magnitudes.
+var tokenUnits = map[string]Unit{
+	// frequency
+	"hz": unitHertz, "khz": unitHertz, "mhz": unitHertz, "ghz": unitHertz,
+	"hertz": unitHertz,
+	// voltage
+	"v": unitVolt, "mv": unitVolt, "uv": unitVolt, "kv": unitVolt,
+	"vpp": unitVolt, "volt": unitVolt,
+	// current
+	"a": unitAmp, "ma": unitAmp, "ua": unitAmp, "na": unitAmp,
+	"amp": unitAmp, "ampere": unitAmp,
+	// power / energy
+	"w": unitWatt, "mw": unitWatt, "uw": unitWatt, "nw": unitWatt, "kw": unitWatt,
+	"watt": unitWatt,
+	"j":    unitJoule, "mj": unitJoule, "uj": unitJoule, "nj": unitJoule,
+	"pj": unitJoule, "fj": unitJoule, "joule": unitJoule,
+	// impedance / conductance
+	"ohm": unitOhm, "mohm": unitOhm, "kohm": unitOhm, "uohm": unitOhm,
+	"siemens": unitSiemens,
+	// capacitance / inductance
+	"f": unitFarad, "pf": unitFarad, "nf": unitFarad, "uf": unitFarad,
+	"ff": unitFarad, "farad": unitFarad,
+	// "ph" is deliberately absent: a "Ph" camel token is phase (iPh,
+	// nPh), never pico-henries, in this module's naming.
+	"h": unitHenry, "nh": unitHenry, "uh": unitHenry,
+	"henry": unitHenry,
+	// time
+	"sec": unitSecond, "secs": unitSecond, "seconds": unitSecond,
+	"ns": unitSecond, "us": unitSecond, "ps": unitSecond, "ms": unitSecond,
+	// geometry
+	"m": unitMetre, "um": unitMetre, "nm": unitMetre, "mm": unitMetre,
+	"m2": unitM2, "mm2": unitM2, "um2": unitM2, "cm2": unitM2,
+	// bare trailing quantity letters used as suffixes (GridR, GridL)
+	"r": unitOhm, "l": unitHenry,
+}
+
+// wordUnits extends the suffix convention with whole words that imply a
+// unit (or dimensionlessness) when they lead or end a name: AreaMax and
+// SwitchArea are both m², EffSC and Efficiency both dimensionless.
+// Voltage- and current-flavoured words are deliberately absent: in the SC
+// topology math, names like CapVoltages denote normalized fractions of
+// VIn, not volts. "Eff" here means efficiency; names like CEff/LEff
+// (effective capacitance/inductance) are claimed first by the
+// quantity-symbol prefix rule, which runs before this map.
+var wordUnits = map[string]Unit{
+	"area": unitM2, "freq": unitHertz, "frequency": unitHertz,
+	"duty": unitDimensionless, "eff": unitDimensionless,
+	"efficiency": unitDimensionless, "ratio": unitDimensionless,
+	"ratios": unitDimensionless, "factor": unitDimensionless,
+	"gain": unitDimensionless, "pct": unitDimensionless,
+	"percent": unitDimensionless, "fraction": unitDimensionless,
+	"frac": unitDimensionless, "multiplier": unitDimensionless,
+	"multipliers": unitDimensionless,
+}
+
+// scalePrefixTokens are single-letter CamelCase tokens that act as SI
+// scale prefixes when immediately followed by a unit token ("M"+"Hz" is
+// megahertz, not metre·hertz; "K"+"Ohm" is kilo-ohm).
+var scalePrefixTokens = map[string]bool{
+	"m": true, "k": true, "g": true, "u": true, "n": true, "p": true,
+}
+
+// leadSymbolUnits is the quantity-symbol prefix convention blessed by the
+// unitsuffix analyzer: a single-letter first CamelCase token names the
+// quantity (VIn, IMax, CTotal, fsw, gShare, tPhase).
+var leadSymbolUnits = map[string]Unit{
+	"v": unitVolt, "i": unitAmp, "c": unitFarad, "g": unitSiemens,
+	"l": unitHenry, "r": unitOhm, "f": unitHertz, "p": unitWatt,
+	"t": unitSecond,
+}
+
+// exactNameUnits pins whole (lower-cased) identifiers whose CamelCase
+// tokens carry no machine-readable unit but whose meaning is fixed
+// module-wide.
+var exactNameUnits = map[string]Unit{
+	"fsw": unitHertz, "vin": unitVolt, "vout": unitVolt, "vdd": unitVolt,
+	"vnom": unitVolt, "iload": unitAmp, "imax": unitAmp, "dt": unitSecond,
+	// iL is the inductor *current* of the buck state equations, not an
+	// inductance — the trailing-L suffix rule must not claim it.
+	"il": unitAmp,
+}
+
+// UnitOfName infers the unit an identifier's name implies, or the unknown
+// unit when the name carries no (unambiguous) unit information. The
+// inference order is: exact whole-name matches, then the trailing
+// unit-token run (with "Per" as a divider and SI scale-prefix merging),
+// then the leading quantity-symbol convention, then unit words at either
+// end of the name (Area, Freq, Eff).
+func UnitOfName(name string) Unit {
+	if len(name) <= 1 {
+		// Single letters (m, t, v as locals) are generic loop/temp names far
+		// more often than quantities; stay silent.
+		return unitUnknown
+	}
+	if u, ok := exactNameUnits[strings.ToLower(name)]; ok {
+		return u
+	}
+	toks := camelTokens(name)
+	if len(toks) == 0 {
+		return unitUnknown
+	}
+	if u, ok := trailingUnitRun(toks); ok {
+		return u
+	}
+	// A trailing digit that is not itself a unit token (m2, mm2) marks a
+	// squared quantity (iRms2 = A²) or a numbered variant (vout2, x2);
+	// either way the suffix rules below would mis-read it.
+	if last := toks[len(toks)-1]; last[len(last)-1] >= '0' && last[len(last)-1] <= '9' {
+		return unitUnknown
+	}
+	// Leading quantity symbol: first token is the bare letter and more
+	// tokens follow (VIn, iLoad, gShare). A one-token name never matches —
+	// "Leakage" is not henries — and CEff/LEff resolve here as farads and
+	// henries before the word rule below could read "Eff" as efficiency.
+	if len(toks) > 1 && len(toks[0]) == 1 {
+		if u, ok := leadSymbolUnits[strings.ToLower(toks[0])]; ok {
+			return u
+		}
+	}
+	if u, ok := wordUnits[strings.ToLower(toks[len(toks)-1])]; ok {
+		return u
+	}
+	if u, ok := wordUnits[strings.ToLower(toks[0])]; ok {
+		return u
+	}
+	return unitUnknown
+}
+
+// trailingUnitRun parses the longest suffix of toks made of unit tokens,
+// "Per" dividers, and SI scale prefixes into a composite unit:
+// [Density F Per M2] → F/m², [FSw Max Hz] → Hz, [FSw M Hz] → Hz (M merges
+// into MHz). A run that is only "Per ..." yields the reciprocal
+// (LeakPerFarad → F⁻¹).
+func trailingUnitRun(toks []string) (Unit, bool) {
+	// Collect the trailing run of unit-ish tokens.
+	start := len(toks)
+	for start > 0 {
+		t := strings.ToLower(toks[start-1])
+		if _, ok := tokenUnits[t]; !ok && t != "per" && !scalePrefixTokens[t] {
+			break
+		}
+		start--
+	}
+	run := toks[start:]
+	// Trim leading scale prefixes/Per that merely border the run head —
+	// a scale prefix is only meaningful before a unit token inside the run.
+	for len(run) > 0 && strings.ToLower(run[0]) == "per" && len(run) == 1 {
+		run = nil
+	}
+	if len(run) == 0 {
+		return unitUnknown, false
+	}
+	u := unitDimensionless
+	invert := false
+	sawUnit := false
+	for i := 0; i < len(run); i++ {
+		t := strings.ToLower(run[i])
+		if t == "per" {
+			invert = true
+			continue
+		}
+		// SI scale prefix immediately before a unit token merges into it.
+		if scalePrefixTokens[t] && i+1 < len(run) {
+			if _, ok := tokenUnits[strings.ToLower(run[i+1])]; ok {
+				continue
+			}
+		}
+		tu, ok := tokenUnits[t]
+		if !ok {
+			// A scale prefix with nothing to scale ends the parse
+			// inconclusively ("SumAC" never reaches here; "FeatureM" does
+			// with t="m" — metre — which IS in tokenUnits).
+			return unitUnknown, false
+		}
+		sawUnit = true
+		if invert {
+			u = u.Div(tu)
+		} else {
+			u = u.Mul(tu)
+		}
+	}
+	if !sawUnit {
+		return unitUnknown, false
+	}
+	return u, true
+}

@@ -1,0 +1,441 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnitFlow is the expression-level dimensional-analysis pass. It infers
+// units from the PR 1 naming conventions (suffix tokens like Hz, V, A, W,
+// M2, FPerM2; quantity-symbol prefixes like VIn, iLoad, gShare — see
+// UnitOfName) and propagates them through arithmetic using the Unit
+// lattice: multiplication and division combine dimension vectors, sqrt
+// halves them, constants are unit-wild scale factors, and anything the
+// lattice cannot prove stays unknown and silent.
+//
+// Findings, in decreasing order of bug-likelihood:
+//
+//   - adding/subtracting or comparing two floats whose inferred units
+//     disagree (volts to hertz, m² to W);
+//   - assigning (including +=, composite-literal fields, call arguments,
+//     and returns) an expression whose inferred unit contradicts the unit
+//     the destination's name declares.
+//
+// The paper's speed-for-accuracy pitch dies on exactly these bugs: a
+// single mm²-for-m² slip rescales every area the optimizer ranks on by
+// 10⁶ without a crash. Test files are exempt (fixtures fake values
+// freely); genuinely unit-less names stay silent because UnitOfName
+// refuses to guess.
+var UnitFlow = &Analyzer{
+	Name: "unitflow",
+	Doc:  "flag float arithmetic whose inferred physical units disagree",
+	Run:  runUnitFlow,
+}
+
+func runUnitFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.GenDecl:
+				checkVarDecl(pass, n)
+			case *ast.CompositeLit:
+				checkComposite(pass, n)
+			case *ast.CallExpr:
+				checkCallArgs(pass, n)
+			case *ast.FuncDecl:
+				checkReturns(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBinary flags + - and ordered/equality comparisons whose float
+// operands carry contradictory inferred units.
+func checkBinary(pass *Pass, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.ADD, token.SUB,
+		token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	if !IsFloat(pass.TypeOf(be.X)) && !IsFloat(pass.TypeOf(be.Y)) {
+		return
+	}
+	ux, uy := inferExpr(pass, be.X), inferExpr(pass, be.Y)
+	if ux.Compatible(uy) {
+		return
+	}
+	verb := "adds"
+	switch be.Op {
+	case token.SUB:
+		verb = "subtracts"
+	case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		verb = "compares"
+	}
+	pass.Reportf(be.OpPos, "%s %s to %s: operands of %s carry different inferred units", verb, ux, uy, be.Op)
+}
+
+// checkAssign flags =, :=, +=, -=, *=, /= whose right-hand unit
+// contradicts the unit the destination's name implies.
+func checkAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // multi-value call; no per-position inference
+	}
+	for i, lhs := range as.Lhs {
+		if !IsFloat(pass.TypeOf(lhs)) {
+			continue
+		}
+		dst := unitOfDest(lhs)
+		if !dst.Known || dst.Wild {
+			continue
+		}
+		src := inferExpr(pass, as.Rhs[i])
+		switch as.Tok {
+		case token.ASSIGN, token.DEFINE:
+			if !dst.Compatible(src) {
+				pass.Reportf(as.Rhs[i].Pos(), "assigns %s to %s, whose name implies %s", src, destName(lhs), dst)
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			if !dst.Compatible(src) {
+				pass.Reportf(as.Rhs[i].Pos(), "accumulates %s into %s, whose name implies %s", src, destName(lhs), dst)
+			}
+		case token.MUL_ASSIGN, token.QUO_ASSIGN:
+			// Scaling in place is fine by a constant or a dimensionless
+			// factor; scaling by a dimensioned quantity silently changes
+			// the variable's unit out from under its name.
+			if src.Known && !src.Wild && !src.sameDim(unitDimensionless) {
+				pass.Reportf(as.Rhs[i].Pos(), "rescales %s (%s) by %s in place, changing its unit", destName(lhs), dst, src)
+			}
+		}
+	}
+}
+
+// checkVarDecl applies the assignment rule to var declarations with
+// initializers.
+func checkVarDecl(pass *Pass, gd *ast.GenDecl) {
+	if gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) != len(vs.Names) {
+			continue
+		}
+		for i, name := range vs.Names {
+			if !IsFloat(pass.TypeOf(name)) {
+				continue
+			}
+			dst := UnitOfName(name.Name)
+			if !dst.Known || dst.Wild {
+				continue
+			}
+			if src := inferExpr(pass, vs.Values[i]); !dst.Compatible(src) {
+				pass.Reportf(vs.Values[i].Pos(), "assigns %s to %s, whose name implies %s", src, name.Name, dst)
+			}
+		}
+	}
+}
+
+// checkComposite flags struct-literal fields initialized with a value of
+// a contradictory unit.
+func checkComposite(pass *Pass, cl *ast.CompositeLit) {
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || !IsFloat(pass.TypeOf(kv.Value)) {
+			continue
+		}
+		dst := UnitOfName(key.Name)
+		if !dst.Known || dst.Wild {
+			continue
+		}
+		if src := inferExpr(pass, kv.Value); !dst.Compatible(src) {
+			pass.Reportf(kv.Value.Pos(), "initializes field %s (%s) with %s", key.Name, dst, src)
+		}
+	}
+}
+
+// checkCallArgs flags arguments whose inferred unit contradicts the unit
+// the callee's parameter name declares — the swapped-argument bug class
+// (EvaluateAt(fsw, iLoad) for EvaluateAt(iLoad, fsw)).
+func checkCallArgs(pass *Pass, call *ast.CallExpr) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	if sig.Variadic() {
+		n-- // the variadic tail has one name for many values
+	}
+	if n > len(call.Args) {
+		n = len(call.Args) // method value / partial application edge
+	}
+	for i := 0; i < n; i++ {
+		p := params.At(i)
+		if !IsFloat(p.Type()) {
+			continue
+		}
+		dst := UnitOfName(p.Name())
+		if !dst.Known || dst.Wild {
+			continue
+		}
+		if src := inferExpr(pass, call.Args[i]); !dst.Compatible(src) {
+			pass.Reportf(call.Args[i].Pos(), "passes %s as parameter %s of %s, whose name implies %s", src, p.Name(), fn.Name(), dst)
+		}
+	}
+}
+
+// checkReturns flags return values whose inferred unit contradicts the
+// declared result name, or — for a function returning a single float
+// (plus optionally an error) — the unit the function's own name implies.
+func checkReturns(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Results == nil {
+		return
+	}
+	// Resolve one unit per result position.
+	var resUnits []Unit
+	for _, fld := range fd.Type.Results.List {
+		u := unitUnknown
+		if len(fld.Names) > 0 {
+			for _, name := range fld.Names {
+				resUnits = append(resUnits, UnitOfName(name.Name))
+			}
+			continue
+		}
+		resUnits = append(resUnits, u)
+	}
+	// An unnamed leading float result inherits the function name's unit
+	// when the signature is exactly (float64) or (float64, error).
+	if len(resUnits) > 0 && !resUnits[0].Known && IsFloat(pass.TypeOf(fd.Type.Results.List[0].Type)) {
+		if len(resUnits) == 1 || (len(resUnits) == 2 && isErrorExpr(pass, fd.Type.Results)) {
+			resUnits[0] = UnitOfName(fd.Name.Name)
+		}
+	}
+	any := false
+	for _, u := range resUnits {
+		if u.Known && !u.Wild {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested literals have their own signatures
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != len(resUnits) {
+			return true
+		}
+		for i, e := range ret.Results {
+			dst := resUnits[i]
+			if !dst.Known || dst.Wild || !IsFloat(pass.TypeOf(e)) {
+				continue
+			}
+			if src := inferExpr(pass, e); !dst.Compatible(src) {
+				pass.Reportf(e.Pos(), "returns %s where %s declares %s", src, fd.Name.Name, dst)
+			}
+		}
+		return true
+	})
+}
+
+// isErrorExpr reports whether the last declared result is the error type.
+func isErrorExpr(pass *Pass, results *ast.FieldList) bool {
+	last := results.List[len(results.List)-1]
+	t := pass.TypeOf(last.Type)
+	return t != nil && t.String() == "error"
+}
+
+// destName renders an assignment destination for diagnostics.
+func destName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return destName(e.X) + "[...]"
+	case *ast.StarExpr:
+		return destName(e.X)
+	}
+	return "destination"
+}
+
+// unitOfDest infers the unit an assignment destination's *name* declares
+// (no expression propagation: the destination is a contract, not data).
+func unitOfDest(e ast.Expr) Unit {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return UnitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return UnitOfName(e.Sel.Name)
+	case *ast.IndexExpr:
+		return unitOfDest(e.X)
+	case *ast.StarExpr:
+		return unitOfDest(e.X)
+	}
+	return unitUnknown
+}
+
+// inferExpr propagates units bottom-up through an expression. Constants
+// (literal or folded) are wild; non-float leaves are wild for numerics
+// (loop counts, conversions) and unknown otherwise; every unprovable
+// construct degrades to unknown rather than guessing.
+func inferExpr(pass *Pass, e ast.Expr) Unit {
+	e = ast.Unparen(e)
+	if tv, ok := pass.Info.Types[e]; ok {
+		if tv.Value != nil {
+			return unitWild
+		}
+		if tv.Type != nil && !IsFloat(tv.Type) {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+				return unitWild
+			}
+			return unitUnknown
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return UnitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return UnitOfName(e.Sel.Name)
+	case *ast.IndexExpr:
+		return unitOfDest(e.X)
+	case *ast.StarExpr:
+		return inferExpr(pass, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return inferExpr(pass, e.X)
+		}
+	case *ast.BinaryExpr:
+		ux, uy := inferExpr(pass, e.X), inferExpr(pass, e.Y)
+		switch e.Op {
+		case token.MUL:
+			return ux.Mul(uy)
+		case token.QUO:
+			return ux.Div(uy)
+		case token.ADD, token.SUB:
+			// The mismatch itself is checkBinary's finding; the sum's unit
+			// is whichever side knows it.
+			if ux.Known && !ux.Wild {
+				return ux
+			}
+			return uy
+		}
+	case *ast.CallExpr:
+		return inferCall(pass, e)
+	}
+	return unitUnknown
+}
+
+// inferCall resolves the unit of a call result: conversions pass their
+// operand through, the math package's shape-preserving functions
+// propagate, Sqrt/Pow transform the vector, and a module function with a
+// single float result (plus optionally error) takes its name's unit.
+func inferCall(pass *Pass, call *ast.CallExpr) Unit {
+	// Conversion: float64(expr) keeps the operand's unit (int operands
+	// already landed on wild via the numeric gate).
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return inferExpr(pass, call.Args[0])
+	}
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		// Builtins: min/max preserve their operands' (agreeing) unit.
+		if name := CalleeName(call); (name == "min" || name == "max") && len(call.Args) > 0 {
+			return inferExpr(pass, call.Args[0])
+		}
+		return unitUnknown
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "math" && len(call.Args) >= 1 {
+		arg := func(i int) Unit { return inferExpr(pass, call.Args[i]) }
+		switch fn.Name() {
+		case "Sqrt":
+			return arg(0).Sqrt()
+		case "Cbrt":
+			u := arg(0)
+			if u.Known && !u.Wild && !u.sameDim(unitDimensionless) {
+				return unitUnknown
+			}
+			return u
+		case "Abs", "Floor", "Ceil", "Trunc", "Round", "RoundToEven", "Copysign", "Nextafter":
+			return arg(0)
+		case "Min", "Max", "Mod", "Remainder", "Dim", "Hypot":
+			if u := arg(0); u.Known {
+				return u
+			}
+			if len(call.Args) > 1 {
+				return arg(1)
+			}
+		case "Pow":
+			if len(call.Args) == 2 {
+				if tv, ok := pass.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+					if n, exact := exponentOf(tv); exact {
+						return arg(0).Pow(n)
+					}
+				}
+			}
+		}
+		return unitUnknown
+	}
+	// Module (or other source-typechecked) function: trust the name for a
+	// single-float-result signature.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return unitUnknown
+	}
+	res := sig.Results()
+	single := res.Len() == 1 ||
+		(res.Len() == 2 && res.At(1).Type().String() == "error")
+	if single && IsFloat(res.At(0).Type()) {
+		if res.At(0).Name() != "" {
+			if u := UnitOfName(res.At(0).Name()); u.Known {
+				return u
+			}
+		}
+		return UnitOfName(fn.Name())
+	}
+	return unitUnknown
+}
+
+// exponentOf extracts a small integer exponent from a constant
+// type-and-value, reporting false for fractional or huge exponents.
+func exponentOf(tv types.TypeAndValue) (int, bool) {
+	v := tv.Value
+	if v == nil {
+		return 0, false
+	}
+	// constant.Value: use the string form via types' exact representation.
+	// Only small non-negative integers matter (Pow(x, 2), Pow(x, 3)).
+	s := v.ExactString()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+		if n > 6 {
+			return 0, false
+		}
+	}
+	return n, true
+}

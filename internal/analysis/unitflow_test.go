@@ -1,0 +1,77 @@
+package analysis
+
+import "testing"
+
+func TestUnitFlowGolden(t *testing.T) {
+	pkg := fixturePkg(t, "fix/unitflow", map[string]string{
+		"uf.go": `package fix
+
+type Cand struct {
+	AreaM2 float64
+	PowerW float64
+}
+
+func dissipate(pW float64) float64 { return pW }
+
+func FSwHz(tCycle float64) float64 {
+	return tCycle
+}
+
+func f(vIn, iLoad, fsw, cTotal float64) float64 {
+	rOut := vIn / iLoad
+	mixed := vIn + iLoad
+	if vIn > fsw {
+		mixed = 0
+	}
+	tCycle := cTotal * rOut
+	powerW := vIn * vIn / rOut
+	c := Cand{AreaM2: powerW}
+	_ = c
+	vDroop := iLoad
+	_ = vDroop
+	_ = dissipate(vIn)
+	vRipple := iLoad / (fsw * cTotal)
+	_ = FSwHz(tCycle)
+	areaM2 := 2e-6
+	areaMM2 := areaM2 * 1e6
+	_ = areaMM2
+	return mixed + vRipple
+}
+`,
+	})
+	runGolden(t, UnitFlow, pkg, []string{
+		"uf.go:11:9: [unitflow] returns s where FSwHz declares Hz",
+		"uf.go:16:15: [unitflow] adds V to A: operands of + carry different inferred units",
+		"uf.go:17:9: [unitflow] compares V to Hz: operands of > carry different inferred units",
+		"uf.go:22:20: [unitflow] initializes field AreaM2 (m²) with W",
+		"uf.go:24:12: [unitflow] assigns A to vDroop, whose name implies V",
+		"uf.go:26:16: [unitflow] passes V as parameter pW of dissipate, whose name implies W",
+	})
+}
+
+// TestUnitFlowSilent pins expressions the lattice must stay quiet on:
+// wild constants, scale conversions, unknown names, and physically
+// consistent derivations.
+func TestUnitFlowSilent(t *testing.T) {
+	pkg := fixturePkg(t, "fix/unitflowok", map[string]string{
+		"ok.go": `package fix
+
+import "math"
+
+func g(vIn, iLoad, fsw, cTotal, areaM2 float64) float64 {
+	rOut := vIn / iLoad
+	vOut := vIn * 0.5
+	pLoss := iLoad * iLoad * rOut
+	tSettle := rOut * cTotal
+	fRes := 1 / tSettle
+	areaMM2 := areaM2 * 1e6
+	iRms2 := iLoad * iLoad
+	rTotal := math.Sqrt(rOut * rOut)
+	vDrop := iLoad * rTotal
+	_, _, _, _, _ = fsw, pLoss, fRes, areaMM2, iRms2
+	return vOut + vDrop
+}
+`,
+	})
+	runGolden(t, UnitFlow, pkg, nil)
+}

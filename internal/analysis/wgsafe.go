@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WGSafe checks the WaitGroup protocol the fan-out code depends on:
+// Add happens-before the goroutine spawn, and Done runs on every exit
+// path of the goroutine.
+//
+// Two findings:
+//
+//   - wg.Add(...) lexically inside a go-statement's function literal —
+//     the spawned goroutine races its Add against the parent's Wait, so
+//     Wait can return before the work is counted;
+//   - a plain (non-deferred) wg.Done() inside a go-statement's function
+//     literal — a panic or early return on any path above it skips the
+//     Done and Wait hangs forever. `defer wg.Done()` is the only shape
+//     that survives every exit.
+//
+// Both are lexical: `go w.run()` bodies are out of scope (they are
+// checked when their own declaration is analyzed, where no go-statement
+// context exists — the contract there is the caller's).
+var WGSafe = &Analyzer{
+	Name: "wgsafe",
+	Doc:  "flag WaitGroup.Add inside the spawned goroutine and non-deferred Done",
+	Run:  runWGSafe,
+}
+
+func runWGSafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			checkGoLit(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoLit(pass *Pass, lit *ast.FuncLit) {
+	var deferred []*ast.CallExpr
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred = append(deferred, d.Call)
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || !isWaitGroupMethod(fn) {
+			return true
+		}
+		switch fn.Name() {
+		case "Add":
+			pass.Reportf(call.Pos(),
+				"WaitGroup.Add inside the spawned goroutine races with Wait; call Add before the go statement")
+		case "Done":
+			if !isDeferredCall(call, deferred) {
+				pass.Reportf(call.Pos(),
+					"WaitGroup.Done is not deferred; a panic or early return above it hangs Wait — use `defer %s.Done()` first in the goroutine",
+					recvString(call))
+			}
+		}
+		return true
+	})
+}
+
+func isWaitGroupMethod(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+func isDeferredCall(call *ast.CallExpr, deferred []*ast.CallExpr) bool {
+	for _, d := range deferred {
+		if d == call {
+			return true
+		}
+	}
+	return false
+}
+
+func recvString(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X)
+	}
+	return "wg"
+}

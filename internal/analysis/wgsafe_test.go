@@ -1,0 +1,66 @@
+package analysis
+
+import "testing"
+
+func TestWGSafeGolden(t *testing.T) {
+	pkg := fixturePkg(t, "fix/wgsafe", map[string]string{
+		"wg.go": `package fix
+
+import "sync"
+
+func work() {}
+
+func Spawn(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		go func() {
+			wg.Add(1)
+			work()
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+`,
+	})
+	runGolden(t, WGSafe, pkg, []string{
+		"wg.go:11:4: [wgsafe] WaitGroup.Add inside the spawned goroutine races with Wait; call Add before the go statement",
+		"wg.go:13:4: [wgsafe] WaitGroup.Done is not deferred; a panic or early return above it hangs Wait — use `defer wg.Done()` first in the goroutine",
+	})
+}
+
+// TestWGSafeSilent pins the correct protocol (Add before the go
+// statement, deferred Done) and the out-of-scope `go method()` shape.
+func TestWGSafeSilent(t *testing.T) {
+	pkg := fixturePkg(t, "fix/wgsafeok", map[string]string{
+		"ok.go": `package fix
+
+import "sync"
+
+func work() {}
+
+func Good(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+type runner struct{ wg sync.WaitGroup }
+
+func (r *runner) step() { r.wg.Done() }
+
+func (r *runner) Spawn() {
+	r.wg.Add(1)
+	go r.step()
+	r.wg.Wait()
+}
+`,
+	})
+	runGolden(t, WGSafe, pkg, nil)
+}

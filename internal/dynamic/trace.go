@@ -39,13 +39,15 @@ func Sampled(data []float64, dt float64) Signal {
 	}
 }
 
-// Step returns a signal that is v0 before tStep and v1 after.
-func Step(v0, v1, tStep float64) Signal {
+// Step returns a signal that is from before tStep and to after. The
+// levels are unit-agnostic: load steps pass amperes, reference steps
+// volts.
+func Step(from, to, tStep float64) Signal {
 	return func(t float64) float64 {
 		if t < tStep {
-			return v0
+			return from
 		}
-		return v1
+		return to
 	}
 }
 

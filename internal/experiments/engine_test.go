@@ -117,6 +117,21 @@ func TestFig10RunCancellation(t *testing.T) {
 	}
 }
 
+// Fig13Run threads its context through both phases (the per-configuration
+// explorations and the breakdown merge); a pre-cancelled run must fail
+// fast with a cancellation-shaped error instead of sizing designs.
+func TestFig13RunCancellation(t *testing.T) {
+	noise, err := Fig10Run(context.Background(), TransientOptions{T: 4e-6, Dt: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig13Run(ctx, noise, TransientOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run: want context.Canceled, got %v", err)
+	}
+}
+
 // The progress callback sees monotonically increasing completion and the
 // final telemetry accounts for every cell.
 func TestFig10RunProgress(t *testing.T) {

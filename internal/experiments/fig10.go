@@ -212,6 +212,9 @@ func Fig10Run(ctx context.Context, opt TransientOptions) (*Fig10Result, error) {
 		Configs:       configs,
 	}
 	for i, nr := range results {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := cells[i]
 		res.Cells = append(res.Cells, Fig10Cell{
 			Benchmark:  c.bench,

@@ -62,7 +62,8 @@ func vrmEfficiency(vIn, vOut, pOut float64) (float64, error) {
 	// filter network and sense/trace resistance between the VRM and the
 	// board plane (~1.2 mOhm at the output current), plus the analog
 	// controller's quiescent power.
-	pTrace := iLoad * iLoad * 1.2e-3
+	rTrace := 1.2e-3
+	pTrace := iLoad * iLoad * rTrace
 	pCtl := 0.25
 	loss := m.Loss.Total() + pTrace + pCtl
 	return m.POut / (m.POut + loss), nil
@@ -168,6 +169,9 @@ func Fig13Run(ctx context.Context, noise *Fig10Result, opt TransientOptions) (*F
 	var offEff float64
 	bestEff := -1.0
 	for i, nIVR := range noiseConfigs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		name := configName(nIVR)
 		res.Margins[name] = params[i].Margin
 		b, err := cs.System.PowerBreakdown(params[i])

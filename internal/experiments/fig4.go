@@ -48,15 +48,16 @@ func Fig4(spanSeconds float64) (*Fig4Result, error) {
 	}
 	res := &Fig4Result{}
 	iLoad := 0.3
+	vin := 1.8
 	for _, fsw := range []float64{10e6, 20e6, 50e6, 100e6, 200e6, 500e6} {
 		d, top, an, err := mustSC(20e-9, 150, 0.8, 2e9)
 		if err != nil {
 			return nil, err
 		}
 		caps, rons := d.ElementValues()
-		vPred := an.Ratio*1.8 - iLoad*d.ROut(fsw)
+		vPred := an.Ratio*vin - iLoad*d.ROut(fsw)
 		ckt, err := spice.BuildSC(top, an, caps, rons, spice.SCOptions{
-			VIn: 1.8, FSw: fsw, CLoad: 400e-9, ILoad: iLoad, VOutIC: vPred,
+			VIn: vin, FSw: fsw, CLoad: 400e-9, ILoad: iLoad, VOutIC: vPred,
 		})
 		if err != nil {
 			return nil, err

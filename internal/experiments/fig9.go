@@ -40,11 +40,12 @@ func Fig9() (*Fig9Result, error) {
 	// (a) Cycle-by-cycle: load step 0.1 -> 0.4 A mid-run, open loop.
 	tStep := 2e-6
 	T := 6e-6
-	loadSig := dynamic.Step(0.1, 0.4, tStep)
+	iStep0, iStep1 := 0.1, 0.4
+	loadSig := dynamic.Step(iStep0, iStep1, tStep)
 	ckt, err := spice.BuildSC(top, an, caps, rons, spice.SCOptions{
 		VIn: vin, FSw: fsw, CLoad: cload, ILoad: 0,
 		Load:   spice.Waveform(func(t float64) float64 { return loadSig(t) }),
-		VOutIC: an.Ratio*vin - 0.1*d.ROut(fsw),
+		VOutIC: an.Ratio*vin - iStep0*d.ROut(fsw),
 	})
 	if err != nil {
 		return nil, err
@@ -92,22 +93,23 @@ func Fig9() (*Fig9Result, error) {
 
 	// (b) In-cycle: a 217 MHz noise tone (above fsw, off the harmonic grid) rides on the load; the
 	// output ripple is set by the output-facing capacitance alone.
-	toneF := 217e6
+	toneHz := 217e6
 	toneA := 0.1
-	noisy := dynamic.Tones(0.2, []float64{toneA}, []float64{toneF})
+	iBase := 0.2
+	noisy := dynamic.Tones(iBase, []float64{toneA}, []float64{toneHz})
 	ckt2, err := spice.BuildSC(top, an, caps, rons, spice.SCOptions{
 		VIn: vin, FSw: fsw, CLoad: cload, ILoad: 0,
 		Load:   spice.Waveform(func(t float64) float64 { return noisy(t) }),
-		VOutIC: an.Ratio*vin - 0.2*d.ROut(fsw),
+		VOutIC: an.Ratio*vin - iBase*d.ROut(fsw),
 	})
 	if err != nil {
 		return nil, err
 	}
-	sres2, err := ckt2.Tran(1/(toneF*32), 4e-6)
+	sres2, err := ckt2.Tran(1/(toneHz*32), 4e-6)
 	if err != nil {
 		return nil, err
 	}
-	// Simulated tone amplitude from the spectrum around toneF.
+	// Simulated tone amplitude from the spectrum around the tone frequency.
 	vout2 := sres2.V["vout"]
 	half := vout2[len(vout2)/2:]
 	mean := numeric.Mean(half)
@@ -115,21 +117,21 @@ func Fig9() (*Fig9Result, error) {
 	for i, v := range half {
 		x[i] = v - mean
 	}
-	freqs, amps := numeric.RealFFTMagnitude(x, 1/(toneF*32))
-	simAmp := 0.0
+	freqs, amps := numeric.RealFFTMagnitude(x, 1/(toneHz*32))
+	vSim := 0.0
 	for i, f := range freqs {
-		if math.Abs(f-toneF) < toneF/50 && amps[i] > simAmp {
-			simAmp = amps[i]
+		if math.Abs(f-toneHz) < toneHz/50 && amps[i] > vSim {
+			vSim = amps[i]
 		}
 	}
 	// In-cycle model: above f_sw the converter is just its output-facing
 	// capacitance (paper Eq. 5): ripple amplitude = I_tone / (w*C).
 	cEff := cload + 0.5*d.Config().CTotal
-	modelAmp := toneA / (2 * math.Pi * toneF * cEff)
-	res.InCycleRippleModel = modelAmp
-	res.InCycleRippleSim = simAmp
-	if simAmp > 0 {
-		res.InCycleErr = math.Abs(modelAmp-simAmp) / simAmp
+	vModel := toneA / (2 * math.Pi * toneHz * cEff)
+	res.InCycleRippleModel = vModel
+	res.InCycleRippleSim = vSim
+	if vSim > 0 {
+		res.InCycleErr = math.Abs(vModel-vSim) / vSim
 	}
 	return res, nil
 }

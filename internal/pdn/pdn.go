@@ -113,15 +113,15 @@ func (n *Network) ResonancePeak(fLo, fHi float64, points int) (f, z float64) {
 		points = 2
 	}
 	best := 0.0
-	bestF := fLo
+	fBest := fLo
 	for i := 0; i < points; i++ {
-		ff := fLo * math.Pow(fHi/fLo, float64(i)/float64(points-1))
-		m := n.ImpedanceMagnitude(ff)
+		freq := fLo * math.Pow(fHi/fLo, float64(i)/float64(points-1))
+		m := n.ImpedanceMagnitude(freq)
 		if m > best {
-			best, bestF = m, ff
+			best, fBest = m, freq
 		}
 	}
-	return bestF, best
+	return fBest, best
 }
 
 // StateSpace returns the LTI realization of the ladder:

@@ -245,9 +245,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	srv := s.httpSrv
 	s.httpMu.Unlock()
 	if srv != nil {
-		// Give connection teardown its own short grace; draining already
-		// finished the actual work.
-		hctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Give connection teardown a short grace, bounded by the caller's
+		// ctx: once the caller gives up, teardown must not keep Shutdown
+		// blocked for the full grace period.
+		hctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 		defer cancel()
 		if herr := srv.Shutdown(hctx); err == nil {
 			err = herr

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -653,5 +654,46 @@ func TestTransientRejectsUnknownBenchmark(t *testing.T) {
 
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestShutdownTeardownBoundedByCallerCtx pins the HTTP-teardown contract:
+// the post-drain connection grace derives from the caller's context, so a
+// hung client connection cannot pin Shutdown for the full internal grace
+// period once the caller has given up. Regression test for the teardown
+// timeout being derived from context.Background instead of ctx.
+func TestShutdownTeardownBoundedByCallerCtx(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1, EngineWorkers: 1})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	// A connection stuck mid-request-header is active, so the HTTP layer's
+	// graceful shutdown would wait its whole grace window for it.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	if _, err := io.WriteString(conn, "GET /healthz HTTP/1.1\r\nHost: ivory\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the server observe the bytes
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err = s.Shutdown(ctx)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Shutdown took %v with a cancelled caller ctx; the teardown grace is not bounded by it", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Shutdown error = %v, want context.Canceled", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
 	}
 }

@@ -5,26 +5,26 @@ import "ivory/internal/numeric"
 // nodeSpec is the compact row format the built-in table is written in.
 // Unit conventions for the table (converted to SI in build()):
 //
-//	ronW      on-resistance*width, ohm*um
-//	cgW       gate cap per width, fF/um
-//	cdW       drain cap per width, fF/um
-//	leakW     off leakage per width, nA/um
+//	ron      on-resistance*width, ohm*um
+//	cg       gate cap per width, fF/um
+//	cd       drain cap per width, fF/um
+//	leak     off leakage per width, nA/um
 //	mosCap    MOS cap density, nF/mm^2
 //	trenchCap deep-trench density, nF/mm^2 (0 = unavailable)
 //	mimCap    MIM density, nF/mm^2
-//	lInt      integrated inductor density, nH/mm^2
+//	ind      integrated inductor density, nH/mm^2
 type nodeSpec struct {
 	name    string
 	feature float64 // nm
 	vdd     float64 // V
-	ronW    float64
-	cgW     float64
-	cdW     float64
-	leakW   float64
+	ron     float64
+	cg      float64
+	cd      float64
+	leak    float64
 	mosCap  float64
 	trench  float64
 	mim     float64
-	lInt    float64
+	ind     float64
 	grid    float64 // ohm/sq on-chip grid
 	eGate   float64 // fJ per gate transition
 }
@@ -55,10 +55,10 @@ const (
 func (s nodeSpec) build() *Node {
 	core := SwitchDevice{
 		Class:          CoreDevice,
-		ROnWidth:       s.ronW * ohmUm,
-		CGatePerWidth:  s.cgW * fFPerUm,
-		CDrainPerWidth: s.cdW * fFPerUm,
-		LeakPerWidth:   s.leakW * nAPerUm,
+		ROnWidth:       s.ron * ohmUm,
+		CGatePerWidth:  s.cg * fFPerUm,
+		CDrainPerWidth: s.cd * fFPerUm,
+		LeakPerWidth:   s.leak * nAPerUm,
 		VMax:           s.vdd * 1.15,
 		VDrive:         s.vdd,
 		AreaPerWidth:   20 * s.feature * 1e-9, // device + guard + routing pitch
@@ -68,10 +68,10 @@ func (s nodeSpec) build() *Node {
 	// front-end switches.
 	io := SwitchDevice{
 		Class:          IODevice,
-		ROnWidth:       s.ronW * 2.6 * ohmUm,
-		CGatePerWidth:  s.cgW * 1.35 * fFPerUm,
-		CDrainPerWidth: s.cdW * 1.4 * fFPerUm,
-		LeakPerWidth:   s.leakW * 0.02 * nAPerUm,
+		ROnWidth:       s.ron * 2.6 * ohmUm,
+		CGatePerWidth:  s.cg * 1.35 * fFPerUm,
+		CDrainPerWidth: s.cd * 1.4 * fFPerUm,
+		LeakPerWidth:   s.leak * 0.02 * nAPerUm,
 		VMax:           3.3,
 		VDrive:         2.5, // driven from the 2.5 V I/O rail
 		AreaPerWidth:   34 * s.feature * 1e-9,
@@ -81,8 +81,8 @@ func (s nodeSpec) build() *Node {
 			Kind:             MOSCap,
 			DensityFPerM2:    s.mosCap * nFmm2,
 			BottomPlateRatio: 0.05,
-			LeakPerFarad:     30e-3 * (s.leakW / 2.5), // scales with node leakiness
-			ESROhmFarad:      0.4e-12,                 // 0.4 ohm for 1 pF, scaling 1/C
+			LeakPerFarad:     30e-3 * (s.leak / 2.5), // scales with node leakiness
+			ESROhmFarad:      0.4e-12,                // 0.4 ohm for 1 pF, scaling 1/C
 			VMax:             s.vdd * 1.15,
 		},
 		MIMCap: {
@@ -117,7 +117,7 @@ func (s nodeSpec) build() *Node {
 		},
 		IntegratedThinFilm: {
 			Kind:          IntegratedThinFilm,
-			DensityHPerM2: s.lInt * nHmm2,
+			DensityHPerM2: s.ind * nHmm2,
 			DCRPerHenry:   5e7, // 50 mohm per nH class
 			// Magnetic thin-film inductors lose permeability with frequency;
 			// polynomial fit of published L(f) curves (f in GHz).

@@ -275,8 +275,9 @@ type (
 // ConstantSignal returns a constant signal.
 func ConstantSignal(v float64) Signal { return dynamic.Constant(v) }
 
-// StepSignal returns a step at tStep.
-func StepSignal(v0, v1, tStep float64) Signal { return dynamic.Step(v0, v1, tStep) }
+// StepSignal returns a step at tStep between two unit-agnostic levels
+// (amperes for load steps, volts for reference steps).
+func StepSignal(from, to, tStep float64) Signal { return dynamic.Step(from, to, tStep) }
 
 // SampledSignal wraps uniformly sampled data.
 func SampledSignal(data []float64, dt float64) Signal { return dynamic.Sampled(data, dt) }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# benchgate.sh — gating benchmark comparison for CI.
+#
+# Diffs two `make bench` outputs (go test -json streams or raw bench text)
+# and FAILS when any benchmark present in both files got more than
+# FAIL_OVER times slower. Added/removed benchmarks never gate: a missing
+# baseline is not a regression.
+#
+#   usage: benchgate.sh [old.json [new.json]]
+#   env:   FAIL_OVER  slowdown factor that fails the gate (default 15 —
+#          wide enough for single-iteration CI noise, tight enough to
+#          catch an accidental O(n^2) or a lost fast path)
+#
+# Exit codes mirror ivory-benchdiff: 0 ok, 1 regression, 2 unusable input.
+set -u
+cd "$(dirname "$0")/.."
+
+OLD=${1:-BENCH_baseline.json}
+NEW=${2:-BENCH_explore.json}
+FAIL_OVER=${FAIL_OVER:-15}
+
+exec go run ./cmd/ivory-benchdiff -fail-over "$FAIL_OVER" "$OLD" "$NEW"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# lint_annotations.sh — run ivory-lint in JSON mode and re-emit every
+# finding as a GitHub Actions workflow annotation
+# (::error file=F,line=L,col=C::message) so findings show up inline on the
+# PR diff. Outside Actions (or without jq) the raw JSON still prints and
+# the exit code still gates.
+#
+#   usage: lint_annotations.sh [packages...]   (default ./...)
+#
+# Exit codes mirror ivory-lint: 0 clean, 1 findings, 2 load failure.
+set -u
+cd "$(dirname "$0")/.."
+
+out=$(go run ./cmd/ivory-lint -json "${@:-./...}")
+code=$?
+printf '%s\n' "$out"
+if [ "$code" -eq 1 ] && command -v jq >/dev/null 2>&1; then
+	printf '%s\n' "$out" | jq -r \
+		'.[] | "::error file=\(.file),line=\(.line),col=\(.column),title=ivory-lint [\(.analyzer)]::\(.message)"'
+fi
+exit "$code"
