@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-full benchdiff benchgate experiments examples serve smoke clean
+.PHONY: all build test vet lint race bench bench-full bench-profile benchdiff benchgate experiments examples serve smoke clean
 
 all: build vet lint test
 
@@ -26,13 +26,13 @@ race:
 	$(GO) test -race ./internal/...
 
 # Benchmark smoke run over the root harness (Explore serial/parallel,
-# PlaceIVRs, per-figure regeneration) — one iteration each, machine-readable
-# output in BENCH_explore.json — plus a focused pass over the transient
-# case-study engine (Fig 10/11/13, grid scaling) in BENCH_transient.json.
-# Non-gating in CI.
+# PlaceIVRs, per-figure regeneration, MNA kernel Transient/AC sweeps) —
+# one iteration each, machine-readable output in BENCH_explore.json — plus
+# a focused pass over the transient case-study engine (Fig 10/11/13, grid
+# scaling) and the simulation kernels in BENCH_transient.json.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -json . | tee BENCH_explore.json
-	$(GO) test -run '^$$' -bench 'Fig10|Fig11|Fig13|GridScale' -benchtime=1x -benchmem -json . | tee BENCH_transient.json
+	$(GO) test -run '^$$' -bench 'Fig10|Fig11|Fig13|GridScale|Transient|AC' -benchtime=1x -benchmem -json . | tee BENCH_transient.json
 
 # Old-vs-new comparison of the shared benchmarks in two `make bench` outputs
 # (override OLD/NEW to compare arbitrary runs). Informational: the target
@@ -53,6 +53,23 @@ benchgate:
 # timings).
 bench-full:
 	$(GO) test -bench=. -benchmem ./...
+
+# CPU + heap profile capture over the simulation kernels: the circuit-level
+# Transient/AC benchmarks and the numeric LU microbenchmarks. Emits pprof
+# artifacts under profiles/ (uploaded from CI); the trailing `go tool pprof
+# -top` both prints the hot spots and fails the target if a profile is
+# unreadable. Flame graph: `go tool pprof -http=: profiles/kernel.test
+# profiles/kernel_cpu.pprof`.
+bench-profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'Transient|AC' -benchtime=50x \
+		-cpuprofile profiles/kernel_cpu.pprof -memprofile profiles/kernel_mem.pprof \
+		-o profiles/kernel.test .
+	$(GO) test -run '^$$' -bench 'SparseLU|DenseFactorize|ComplexLU' -benchtime=2000x \
+		-cpuprofile profiles/lu_cpu.pprof -memprofile profiles/lu_mem.pprof \
+		-o profiles/lu.test ./internal/numeric
+	$(GO) tool pprof -top -nodecount=12 profiles/kernel.test profiles/kernel_cpu.pprof
+	$(GO) tool pprof -top -nodecount=12 -sample_index=alloc_objects profiles/kernel.test profiles/kernel_mem.pprof
 
 # Run the exploration daemon (POST /v1/explore, /v1/transient; GET
 # /healthz, /metrics). -addr :0 picks a free port.

@@ -7,9 +7,12 @@ package ivory
 // (speedup, efficiency, noise, improvement) in the bench output.
 
 import (
+	"math"
 	"testing"
 
 	"ivory/internal/experiments"
+	"ivory/internal/spice"
+	"ivory/internal/topology"
 )
 
 func BenchmarkFig4SpeedupSweep(b *testing.B) {
@@ -378,4 +381,97 @@ func BenchmarkNodeSweep(b *testing.B) {
 		}
 	}
 	b.ReportMetric(best*100, "best-node-eff-pct")
+}
+
+// --- MNA kernel benchmarks (spice transient + AC) ---------------------------
+//
+// BenchmarkTransient and BenchmarkAC time the converter-level MNA simulator
+// on the two committed netlist families (synchronous buck, 2:1
+// series-parallel SC). They are the gate for the structure-aware kernel
+// work: the transient loop must stay allocation-free per step and the AC
+// sweep must reuse one symbolic factorization across frequencies.
+
+func benchBuckCircuit(b *testing.B) *spice.Circuit {
+	b.Helper()
+	ckt, err := spice.BuildBuck(spice.BuckOptions{
+		VIn: 3.3, Duty: 0.4, FSw: 20e6,
+		L: 100e-9, RL: 0.05, COut: 1e-6,
+		RHigh: 0.05, RLow: 0.05,
+		ILoad: 1.0,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ckt
+}
+
+func benchSC21Circuit(b *testing.B) *spice.Circuit {
+	b.Helper()
+	top, err := topology.SeriesParallel(2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	an, err := top.Analyze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctot, gtot := 10e-9, 100.0
+	caps := make([]float64, an.NumCaps)
+	for i, m := range an.CapMultipliers {
+		caps[i] = ctot * m / an.SumAC
+	}
+	rons := make([]float64, an.NumSwitches)
+	for i, m := range an.SwitchMultipliers {
+		rons[i] = an.SumAR / (gtot * m)
+	}
+	ckt, err := spice.BuildSC(top, an, caps, rons, spice.SCOptions{
+		VIn: 2.0, FSw: 50e6, CLoad: 20e-9, ILoad: 0.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ckt
+}
+
+func BenchmarkTransient(b *testing.B) {
+	run := func(fsw float64, build func(*testing.B) *spice.Circuit) func(*testing.B) {
+		return func(b *testing.B) {
+			h := 1 / (fsw * 64)
+			T := 40 / fsw
+			var steps int
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ckt := build(b)
+				res, err := ckt.Tran(h, T)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = res.Steps
+			}
+			b.ReportMetric(float64(steps), "steps")
+		}
+	}
+	b.Run("buck", run(20e6, benchBuckCircuit))
+	b.Run("sc21", run(50e6, benchSC21Circuit))
+}
+
+func BenchmarkAC(b *testing.B) {
+	freqs := make([]float64, 200)
+	for i := range freqs {
+		freqs[i] = 1e3 * math.Pow(10, 6*float64(i)/float64(len(freqs)-1))
+	}
+	run := func(build func(*testing.B) *spice.Circuit) func(*testing.B) {
+		return func(b *testing.B) {
+			ckt := build(b)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ckt.AC(freqs, "vsrc"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("buck", run(benchBuckCircuit))
+	b.Run("sc21", run(benchSC21Circuit))
 }

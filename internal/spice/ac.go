@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"ivory/internal/numeric"
 )
 
 // ACResult holds a small-signal frequency sweep: per frequency, the complex
@@ -75,155 +77,139 @@ func (c *Circuit) AC(freqs []float64, acSource string) (*ACResult, error) {
 		return nil, fmt.Errorf("spice: empty circuit")
 	}
 	res := &ACResult{Freqs: append([]float64(nil), freqs...), V: map[string][]complex128{}}
-	for _, name := range c.nodeName {
-		res.V[name] = make([]complex128, len(freqs))
+	cols := make([][]complex128, n)
+	for i, name := range c.nodeName {
+		cols[i] = make([]complex128, len(freqs))
+		res.V[name] = cols[i]
 	}
-	// Dense complex solve per frequency: small circuits, exactness over
-	// speed.
+
+	// The sweep shares one sparsity pattern: only the C/L admittance
+	// values move with frequency. Assemble the frequency-invariant stamps
+	// (R, frozen switches, source incidence, controlled sources, Gmin, and
+	// the excitation vector) once into a base matrix, then per frequency
+	// restamp the reactive admittances on a copy and renumerate the one
+	// complex factorization — the pattern is analyzed at the first point
+	// and only the numeric sweep runs thereafter (numeric.ComplexLU).
+	base := make([]complex128, dim*dim)
+	rhs := make([]complex128, dim)
+	stampY := func(m []complex128, a, b int, y complex128) {
+		if a >= 0 {
+			m[a*dim+a] += y
+		}
+		if b >= 0 {
+			m[b*dim+b] += y
+		}
+		if a >= 0 && b >= 0 {
+			m[a*dim+b] -= y
+			m[b*dim+a] -= y
+		}
+	}
+	// Reactive stamp plan: node pairs and values of the elements restamped
+	// per frequency.
+	type reactive struct {
+		a, b int
+		val  float64 // capacitance (F) or inductance (H)
+		isL  bool
+	}
+	var reactives []reactive
+	for _, e := range c.elems {
+		switch e.kind {
+		case kindR:
+			stampY(base, e.a, e.b, complex(1/e.value, 0))
+		case kindC:
+			reactives = append(reactives, reactive{a: e.a, b: e.b, val: e.value})
+		case kindL:
+			reactives = append(reactives, reactive{a: e.a, b: e.b, val: e.value, isL: true})
+		case kindSW:
+			r := e.roff
+			if e.ctrl(0) {
+				r = e.ron
+			}
+			stampY(base, e.a, e.b, complex(1/r, 0))
+		case kindV:
+			if e.a >= 0 {
+				base[e.a*dim+e.branch] += 1
+				base[e.branch*dim+e.a] += 1
+			}
+			if e.b >= 0 {
+				base[e.b*dim+e.branch] -= 1
+				base[e.branch*dim+e.b] -= 1
+			}
+			if e.name == acSource {
+				rhs[e.branch] = 1
+			}
+		case kindVCVS:
+			if e.a >= 0 {
+				base[e.a*dim+e.branch] += 1
+				base[e.branch*dim+e.a] += 1
+			}
+			if e.b >= 0 {
+				base[e.b*dim+e.branch] -= 1
+				base[e.branch*dim+e.b] -= 1
+			}
+			if e.cp >= 0 {
+				base[e.branch*dim+e.cp] -= complex(e.gain, 0)
+			}
+			if e.cn >= 0 {
+				base[e.branch*dim+e.cn] += complex(e.gain, 0)
+			}
+		case kindVCCS:
+			g := complex(e.gain, 0)
+			addAt := func(row, col int, v complex128) {
+				if row >= 0 && col >= 0 {
+					base[row*dim+col] += v
+				}
+			}
+			addAt(e.a, e.cp, g)
+			addAt(e.a, e.cn, -g)
+			addAt(e.b, e.cp, -g)
+			addAt(e.b, e.cn, g)
+		case kindI:
+			if e.name == acSource {
+				// Unit AC current driven from b into a (so that the
+				// read voltage at a is +Z for a grounded b).
+				if e.a >= 0 {
+					rhs[e.a] += 1
+				}
+				if e.b >= 0 {
+					rhs[e.b] -= 1
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		base[i*dim+i] += 1e-12
+	}
+
+	m := make([]complex128, dim*dim)
+	x := make([]complex128, dim)
+	var lu *numeric.ComplexLU
 	for fi, f := range freqs {
 		omega := 2 * math.Pi * f
-		m := make([]complex128, dim*dim)
-		rhs := make([]complex128, dim)
-		stamp := func(a, b int, y complex128) {
-			if a >= 0 {
-				m[a*dim+a] += y
-			}
-			if b >= 0 {
-				m[b*dim+b] += y
-			}
-			if a >= 0 && b >= 0 {
-				m[a*dim+b] -= y
-				m[b*dim+a] -= y
+		copy(m, base)
+		for _, r := range reactives {
+			switch {
+			case !r.isL:
+				stampY(m, r.a, r.b, complex(0, omega*r.val))
+			case omega == 0:
+				stampY(m, r.a, r.b, complex(1e9, 0)) // DC short
+			default:
+				stampY(m, r.a, r.b, complex(0, -1/(omega*r.val)))
 			}
 		}
-		for _, e := range c.elems {
-			switch e.kind {
-			case kindR:
-				stamp(e.a, e.b, complex(1/e.value, 0))
-			case kindC:
-				stamp(e.a, e.b, complex(0, omega*e.value))
-			case kindL:
-				if omega == 0 {
-					stamp(e.a, e.b, complex(1e9, 0)) // DC short
-				} else {
-					stamp(e.a, e.b, complex(0, -1/(omega*e.value)))
-				}
-			case kindSW:
-				r := e.roff
-				if e.ctrl(0) {
-					r = e.ron
-				}
-				stamp(e.a, e.b, complex(1/r, 0))
-			case kindV:
-				if e.a >= 0 {
-					m[e.a*dim+e.branch] += 1
-					m[e.branch*dim+e.a] += 1
-				}
-				if e.b >= 0 {
-					m[e.b*dim+e.branch] -= 1
-					m[e.branch*dim+e.b] -= 1
-				}
-				if e.name == acSource {
-					rhs[e.branch] = 1
-				}
-			case kindVCVS:
-				if e.a >= 0 {
-					m[e.a*dim+e.branch] += 1
-					m[e.branch*dim+e.a] += 1
-				}
-				if e.b >= 0 {
-					m[e.b*dim+e.branch] -= 1
-					m[e.branch*dim+e.b] -= 1
-				}
-				if e.cp >= 0 {
-					m[e.branch*dim+e.cp] -= complex(e.gain, 0)
-				}
-				if e.cn >= 0 {
-					m[e.branch*dim+e.cn] += complex(e.gain, 0)
-				}
-			case kindVCCS:
-				g := complex(e.gain, 0)
-				addAt := func(row, col int, v complex128) {
-					if row >= 0 && col >= 0 {
-						m[row*dim+col] += v
-					}
-				}
-				addAt(e.a, e.cp, g)
-				addAt(e.a, e.cn, -g)
-				addAt(e.b, e.cp, -g)
-				addAt(e.b, e.cn, g)
-			case kindI:
-				if e.name == acSource {
-					// Unit AC current driven from b into a (so that the
-					// read voltage at a is +Z for a grounded b).
-					if e.a >= 0 {
-						rhs[e.a] += 1
-					}
-					if e.b >= 0 {
-						rhs[e.b] -= 1
-					}
-				}
-			}
+		var err error
+		if lu == nil {
+			lu, err = numeric.NewComplexLU(m, dim)
+		} else {
+			err = lu.Refactor(m)
 		}
-		for i := 0; i < n; i++ {
-			m[i*dim+i] += 1e-12
-		}
-		x, err := solveComplex(m, rhs, dim)
 		if err != nil {
 			return nil, fmt.Errorf("spice: AC solve failed at %g Hz: %w", f, err)
 		}
-		for i, name := range c.nodeName {
-			res.V[name][fi] = x[i]
+		lu.SolveInto(x, rhs)
+		for i := range cols {
+			cols[i][fi] = x[i]
 		}
 	}
 	return res, nil
-}
-
-// solveComplex is dense complex Gaussian elimination with partial pivoting.
-func solveComplex(m []complex128, b []complex128, n int) ([]complex128, error) {
-	a := make([]complex128, len(m))
-	copy(a, m)
-	x := make([]complex128, n)
-	copy(x, b)
-	perm := make([]int, n)
-	for i := range perm {
-		perm[i] = i
-	}
-	for k := 0; k < n; k++ {
-		p, mx := k, cmplx.Abs(a[k*n+k])
-		for i := k + 1; i < n; i++ {
-			if ab := cmplx.Abs(a[i*n+k]); ab > mx {
-				p, mx = i, ab
-			}
-		}
-		if mx < 1e-300 {
-			return nil, fmt.Errorf("singular complex matrix")
-		}
-		if p != k {
-			for j := 0; j < n; j++ {
-				a[p*n+j], a[k*n+j] = a[k*n+j], a[p*n+j]
-			}
-			x[p], x[k] = x[k], x[p]
-		}
-		piv := a[k*n+k]
-		for i := k + 1; i < n; i++ {
-			l := a[i*n+k] / piv
-			if l == 0 {
-				continue
-			}
-			a[i*n+k] = 0
-			for j := k + 1; j < n; j++ {
-				a[i*n+j] -= l * a[k*n+j]
-			}
-			x[i] -= l * x[k]
-		}
-	}
-	for i := n - 1; i >= 0; i-- {
-		s := x[i]
-		for j := i + 1; j < n; j++ {
-			s -= a[i*n+j] * x[j]
-		}
-		x[i] = s / a[i*n+i]
-	}
-	return x, nil
 }

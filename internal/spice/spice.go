@@ -34,15 +34,21 @@ func PWL(ts, vs []float64) Waveform {
 	return func(t float64) float64 { return numeric.Interp1(ts, vs, t) }
 }
 
+// periodFrac returns the position of t inside a cycle of the given period
+// as a fraction in [0, 1). Floor-based rather than math.Mod: the phase
+// comparators run once per switch per transient step, and math.Mod's
+// software frexp/ldexp loop dominated the whole simulation profile.
+func periodFrac(t, period float64) float64 {
+	frac := t / period
+	frac -= math.Floor(frac)
+	return frac
+}
+
 // Pulse returns a square pulse train: v1 for the first duty fraction of
 // each period, v0 otherwise.
 func Pulse(v0, v1, period, duty float64) Waveform {
 	return func(t float64) float64 {
-		frac := math.Mod(t, period) / period
-		if frac < 0 {
-			frac += 1
-		}
-		if frac < duty {
+		if periodFrac(t, period) < duty {
 			return v1
 		}
 		return v0
@@ -59,10 +65,7 @@ type Control func(t float64) bool
 func TwoPhaseClock(fsw float64, ph int, deadFrac float64) Control {
 	period := 1 / fsw
 	return func(t float64) bool {
-		frac := math.Mod(t, period) / period
-		if frac < 0 {
-			frac += 1
-		}
+		frac := periodFrac(t, period)
 		switch ph {
 		case 1:
 			return frac >= deadFrac && frac < 0.5-deadFrac
@@ -78,11 +81,7 @@ func TwoPhaseClock(fsw float64, ph int, deadFrac float64) Control {
 func DutyClock(fsw, duty float64, invert bool) Control {
 	period := 1 / fsw
 	return func(t float64) bool {
-		frac := math.Mod(t, period) / period
-		if frac < 0 {
-			frac += 1
-		}
-		on := frac < duty
+		on := periodFrac(t, period) < duty
 		if invert {
 			return !on
 		}
@@ -290,10 +289,34 @@ func (r *Result) AvgPower(node, source string, window float64) float64 {
 	return sum / float64(len(v)-start)
 }
 
+// swStamp is the precomputed plan for one switch: its node pair, on/off
+// conductances, and control. Switches are the only elements whose matrix
+// stamps change during a transient run, so state changes restamp exactly
+// these positions on top of the time-invariant base matrix.
+type swStamp struct {
+	a, b     int
+	gon, gof float64
+	ctrl     Control
+}
+
+// rhsStamp is the precomputed plan for one right-hand-side contributor
+// (companion current of a cap/inductor, or an independent source).
+type rhsStamp struct {
+	a, b int
+	g    float64 // companion conductance (caps/inductors)
+	e    *element
+}
+
 // Tran runs a transient simulation with fixed step h over [0, T]. Initial
 // conditions come from the declared element ICs (nodes start at the voltage
 // implied by capacitor ICs where determined, 0 otherwise, via one backward-
 // Euler start step).
+//
+// The linear-algebra core is structure-aware: the MNA matrix is stamped
+// once into a base matrix, switch-state changes restamp only the switch
+// conductances and renumerate the one shared symbolic LU factorization
+// (see numeric.SparseLU), and the per-step loop — right-hand-side refresh,
+// solve, companion update, waveform record — allocates nothing.
 func (c *Circuit) Tran(h, T float64) (*Result, error) {
 	if c.err != nil {
 		return nil, c.err
@@ -315,114 +338,163 @@ func (c *Circuit) Tran(h, T float64) (*Result, error) {
 		return nil, fmt.Errorf("spice: empty circuit")
 	}
 
-	// Initialize companion states from ICs.
+	// Initialize companion states from ICs and gather the per-kind stamp
+	// plans that drive the allocation-free inner loop.
+	var caps, inds []rhsStamp
+	var vsrcs, isrcs []*element
+	var sws []swStamp
 	for _, e := range c.elems {
 		switch e.kind {
 		case kindC:
 			e.aux = e.ic // cap voltage
 			e.state = 0  // cap current
+			caps = append(caps, rhsStamp{a: e.a, b: e.b, g: 2 * e.value / h, e: e})
 		case kindL:
 			e.state = e.ic // inductor current
 			e.aux = 0      // inductor voltage
+			inds = append(inds, rhsStamp{a: e.a, b: e.b, g: h / (2 * e.value), e: e})
+		case kindV:
+			vsrcs = append(vsrcs, e)
+		case kindI:
+			isrcs = append(isrcs, e)
+		case kindSW:
+			sws = append(sws, swStamp{a: e.a, b: e.b, gon: 1 / e.ron, gof: 1 / e.roff, ctrl: e.ctrl})
 		}
 	}
 
 	steps := int(math.Ceil(T / h))
 	res := &Result{
-		Times:   make([]float64, 0, steps+1),
+		Times:   make([]float64, steps+1),
 		V:       map[string][]float64{},
 		SourceI: map[string][]float64{},
 	}
-	for _, name := range c.nodeName {
-		res.V[name] = make([]float64, 0, steps+1)
+	// Full-length, index-addressed waveform columns: the record path must
+	// not hash node names or grow slices per step.
+	vcols := make([][]float64, n)
+	for i, name := range c.nodeName {
+		vcols[i] = make([]float64, steps+1)
+		res.V[name] = vcols[i]
+	}
+	srcCols := make([][]float64, len(vsrcs))
+	for i, e := range vsrcs {
+		srcCols[i] = make([]float64, steps+1)
+		res.SourceI[e.name] = srcCols[i]
+	}
+
+	// Base MNA matrix: every time-invariant stamp (R, companion C/L
+	// conductances, source/controlled-source incidence, Gmin). Switch
+	// conductances are restamped per cached state into work.
+	base := numeric.NewMatrix(dim, dim)
+	stampG := func(m *numeric.Matrix, a, b int, g float64) {
+		if a >= 0 {
+			m.Add(a, a, g)
+		}
+		if b >= 0 {
+			m.Add(b, b, g)
+		}
+		if a >= 0 && b >= 0 {
+			m.Add(a, b, -g)
+			m.Add(b, a, -g)
+		}
 	}
 	for _, e := range c.elems {
-		if e.kind == kindV {
-			res.SourceI[e.name] = make([]float64, 0, steps+1)
-		}
-	}
-
-	// Factorization cache keyed by switch-state bitmask string.
-	type fact struct{ lu *numeric.LU }
-	cache := map[string]fact{}
-	swState := make([]byte, 0, 8)
-	stateKey := func(t float64) string {
-		swState = swState[:0]
-		for _, e := range c.elems {
-			if e.kind == kindSW {
-				if e.ctrl(t) {
-					swState = append(swState, '1')
-				} else {
-					swState = append(swState, '0')
-				}
+		switch e.kind {
+		case kindR:
+			stampG(base, e.a, e.b, 1/e.value)
+		case kindC:
+			stampG(base, e.a, e.b, 2*e.value/h)
+		case kindL:
+			stampG(base, e.a, e.b, h/(2*e.value))
+		case kindV, kindVCVS:
+			if e.a >= 0 {
+				base.Add(e.a, e.branch, 1)
+				base.Add(e.branch, e.a, 1)
 			}
-		}
-		return string(swState)
-	}
-
-	build := func(t float64) (*numeric.LU, error) {
-		m := numeric.NewMatrix(dim, dim)
-		stamp := func(a, b int, g float64) {
-			if a >= 0 {
-				m.Add(a, a, g)
+			if e.b >= 0 {
+				base.Add(e.b, e.branch, -1)
+				base.Add(e.branch, e.b, -1)
 			}
-			if b >= 0 {
-				m.Add(b, b, g)
-			}
-			if a >= 0 && b >= 0 {
-				m.Add(a, b, -g)
-				m.Add(b, a, -g)
-			}
-		}
-		for _, e := range c.elems {
-			switch e.kind {
-			case kindR:
-				stamp(e.a, e.b, 1/e.value)
-			case kindC:
-				stamp(e.a, e.b, 2*e.value/h)
-			case kindL:
-				stamp(e.a, e.b, h/(2*e.value))
-			case kindSW:
-				r := e.roff
-				if e.ctrl(t) {
-					r = e.ron
-				}
-				stamp(e.a, e.b, 1/r)
-			case kindV:
-				if e.a >= 0 {
-					m.Add(e.a, e.branch, 1)
-					m.Add(e.branch, e.a, 1)
-				}
-				if e.b >= 0 {
-					m.Add(e.b, e.branch, -1)
-					m.Add(e.branch, e.b, -1)
-				}
-			case kindVCVS:
-				if e.a >= 0 {
-					m.Add(e.a, e.branch, 1)
-					m.Add(e.branch, e.a, 1)
-				}
-				if e.b >= 0 {
-					m.Add(e.b, e.branch, -1)
-					m.Add(e.branch, e.b, -1)
-				}
+			if e.kind == kindVCVS {
 				if e.cp >= 0 {
-					m.Add(e.branch, e.cp, -e.gain)
+					base.Add(e.branch, e.cp, -e.gain)
 				}
 				if e.cn >= 0 {
-					m.Add(e.branch, e.cn, e.gain)
+					base.Add(e.branch, e.cn, e.gain)
 				}
-			case kindVCCS:
-				stampVCCS(m, e)
+			}
+		case kindVCCS:
+			stampVCCS(base, e)
+		}
+	}
+	// Ground leak on every node guards against floating subcircuits.
+	for i := 0; i < n; i++ {
+		base.Add(i, i, 1e-12)
+	}
+	work := numeric.NewMatrix(dim, dim)
+
+	// Factorization cache keyed by the switch-state bitmask. The first
+	// state pays the symbolic analysis; every further state forks the
+	// shared symbolic structure and redoes only the numeric sweep.
+	// Circuits with more than 64 switches chain extra mask words and key
+	// the cache by the words' string encoding (built only on state
+	// changes, never per step).
+	nw := (len(sws) + 63) / 64
+	if nw == 0 {
+		nw = 1
+	}
+	maskBuf := make([]uint64, nw)
+	curMask := make([]uint64, nw)
+	computeMask := func(t float64) []uint64 {
+		for i := range maskBuf {
+			maskBuf[i] = 0
+		}
+		for i := range sws {
+			if sws[i].ctrl(t) {
+				maskBuf[i>>6] |= 1 << (uint(i) & 63)
 			}
 		}
-		// Ground leak on every node guards against floating subcircuits.
-		for i := 0; i < n; i++ {
-			m.Add(i, i, 1e-12)
+		return maskBuf
+	}
+	maskEq := func(a, b []uint64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cache := map[uint64]*numeric.SparseLU{}
+	var cacheWide map[string]*numeric.SparseLU
+	var symSeed *numeric.SparseLU
+	wideKey := func(mask []uint64) string {
+		b := make([]byte, 8*len(mask))
+		for i, w := range mask {
+			for k := 0; k < 8; k++ {
+				b[8*i+k] = byte(w >> (8 * uint(k)))
+			}
+		}
+		return string(b)
+	}
+	build := func(t float64) (*numeric.SparseLU, error) {
+		copy(work.Data, base.Data)
+		for i := range sws {
+			g := sws[i].gof
+			if sws[i].ctrl(t) {
+				g = sws[i].gon
+			}
+			stampG(work, sws[i].a, sws[i].b, g)
 		}
 		res.Refactorizations++
-		f, err := numeric.Factorize(m)
-		if err != nil {
+		if symSeed == nil {
+			f, err := numeric.NewSparseLU(work)
+			if err != nil {
+				return nil, fmt.Errorf("spice: singular MNA matrix: %w", err)
+			}
+			symSeed = f
+			return f, nil
+		}
+		f := symSeed.Fork()
+		if err := f.Refactor(work); err != nil {
 			return nil, fmt.Errorf("spice: singular MNA matrix: %w", err)
 		}
 		return f, nil
@@ -430,17 +502,15 @@ func (c *Circuit) Tran(h, T float64) (*Result, error) {
 
 	rhs := make([]float64, dim)
 	x := make([]float64, dim)
-	record := func(t float64) {
-		res.Times = append(res.Times, t)
-		for i, name := range c.nodeName {
-			res.V[name] = append(res.V[name], x[i])
+	record := func(s int, t float64) {
+		res.Times[s] = t
+		for i := range vcols {
+			vcols[i][s] = x[i]
 		}
-		for _, e := range c.elems {
-			if e.kind == kindV {
-				// MNA branch current flows + -> - inside the source; the
-				// current delivered by the source is its negative.
-				res.SourceI[e.name] = append(res.SourceI[e.name], -x[e.branch])
-			}
+		for i, e := range vsrcs {
+			// MNA branch current flows + -> - inside the source; the
+			// current delivered by the source is its negative.
+			srcCols[i][s] = -x[e.branch]
 		}
 	}
 
@@ -531,7 +601,7 @@ func (c *Circuit) Tran(h, T float64) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("spice: singular matrix at t=0: %w", err)
 		}
-		copy(x, f.Solve(rhs))
+		f.SolveInto(x, rhs)
 		// Seed companion states from the t=0 solution.
 		vAt := func(i int) float64 {
 			if i < 0 {
@@ -549,79 +619,90 @@ func (c *Circuit) Tran(h, T float64) (*Result, error) {
 			}
 		}
 	}
-	record(0)
+	record(0, 0)
 
-	var lu *numeric.LU
-	curKey := ""
+	addI := func(a, b int, i float64) {
+		if a >= 0 {
+			rhs[a] += i
+		}
+		if b >= 0 {
+			rhs[b] -= i
+		}
+	}
+	vAt := func(i int) float64 {
+		if i < 0 {
+			return 0
+		}
+		return x[i]
+	}
+	var lu *numeric.SparseLU
 	for s := 1; s <= steps; s++ {
 		t := float64(s) * h
-		key := stateKey(t)
-		if lu == nil || key != curKey {
-			if f, ok := cache[key]; ok {
-				lu = f.lu
+		mask := computeMask(t)
+		if lu == nil || !maskEq(mask, curMask) {
+			var cached *numeric.SparseLU
+			var ok bool
+			if nw == 1 {
+				cached, ok = cache[mask[0]]
+			} else if cacheWide != nil {
+				cached, ok = cacheWide[wideKey(mask)]
+			}
+			if ok {
+				lu = cached
 			} else {
 				f, err := build(t)
 				if err != nil {
 					return nil, err
 				}
-				cache[key] = fact{lu: f}
+				if nw == 1 {
+					cache[mask[0]] = f
+				} else {
+					if cacheWide == nil {
+						cacheWide = map[string]*numeric.SparseLU{}
+					}
+					cacheWide[wideKey(mask)] = f
+				}
 				lu = f
 			}
-			curKey = key
+			copy(curMask, mask)
 		}
 		for i := range rhs {
 			rhs[i] = 0
 		}
-		addI := func(a, b int, i float64) {
-			if a >= 0 {
-				rhs[a] += i
-			}
-			if b >= 0 {
-				rhs[b] -= i
-			}
+		for i := range caps {
+			// Trapezoidal companion: Ieq = g*v + i (into node a).
+			st := &caps[i]
+			addI(st.a, st.b, st.g*st.e.aux+st.e.state)
 		}
-		for _, e := range c.elems {
-			switch e.kind {
-			case kindC:
-				// Trapezoidal companion: Ieq = g*v + i (into node a).
-				g := 2 * e.value / h
-				addI(e.a, e.b, g*e.aux+e.state)
-			case kindL:
-				// Norton companion: Ieq = -(i + g*v).
-				g := h / (2 * e.value)
-				addI(e.a, e.b, -(e.state + g*e.aux))
-			case kindV:
-				rhs[e.branch] = e.wave(t)
-			case kindI:
-				addI(e.a, e.b, -e.wave(t))
-			}
+		for i := range inds {
+			// Norton companion: Ieq = -(i + g*v).
+			st := &inds[i]
+			addI(st.a, st.b, -(st.e.state + st.g*st.e.aux))
 		}
-		copy(x, lu.Solve(rhs))
+		for _, e := range vsrcs {
+			rhs[e.branch] = e.wave(t)
+		}
+		for _, e := range isrcs {
+			addI(e.a, e.b, -e.wave(t))
+		}
+		lu.SolveInto(x, rhs)
 		res.Steps++
 		// Update companion states.
-		vAt := func(i int) float64 {
-			if i < 0 {
-				return 0
-			}
-			return x[i]
+		for i := range caps {
+			st := &caps[i]
+			v := vAt(st.a) - vAt(st.b)
+			iNew := st.g*(v-st.e.aux) - st.e.state
+			st.e.state = iNew
+			st.e.aux = v
 		}
-		for _, e := range c.elems {
-			switch e.kind {
-			case kindC:
-				v := vAt(e.a) - vAt(e.b)
-				g := 2 * e.value / h
-				iNew := g*(v-e.aux) - e.state
-				e.state = iNew
-				e.aux = v
-			case kindL:
-				v := vAt(e.a) - vAt(e.b)
-				g := h / (2 * e.value)
-				iNew := e.state + g*(v+e.aux)
-				e.state = iNew
-				e.aux = v
-			}
+		for i := range inds {
+			st := &inds[i]
+			v := vAt(st.a) - vAt(st.b)
+			iNew := st.e.state + st.g*(v+st.e.aux)
+			st.e.state = iNew
+			st.e.aux = v
 		}
-		record(t)
+		record(s, t)
 	}
 	return res, nil
 }
