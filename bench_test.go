@@ -272,6 +272,25 @@ func BenchmarkExploreFullSpace(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreAdaptive times the pruned search on the same case-study
+// spec as BenchmarkExploreFullSpace, so the pair quantifies the adaptive
+// speedup directly. The eval-ratio metric is the exhaustive candidate count
+// over the number the adaptive run actually sized (the equivalence tests in
+// internal/core pin that both modes return the same ranked winners).
+func BenchmarkExploreAdaptive(b *testing.B) {
+	spec := CaseStudySpec("45nm")
+	spec.Search = SearchAdaptive
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := Explore(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(res.Stats.Evaluated()+res.Stats.Pruned()) / float64(res.Stats.Evaluated())
+	}
+	b.ReportMetric(ratio, "eval-ratio-x")
+}
+
 // BenchmarkExploreSerial/Parallel time the same full-space exploration with
 // one worker versus one per CPU. The outputs are bit-identical (enforced by
 // TestExploreDeterministicAcrossWorkers); only wall-clock differs.

@@ -5,7 +5,7 @@
 //
 //	ivory nodes
 //	ivory topology  -family sp -p 3 -q 1
-//	ivory explore   -node 45nm -vin 3.3 -vout 1.0 -imax 6 -area-mm2 6 [-objective eff|area|noise] [-top 10] [-json] [-timeout 30s] [-progress] [-workers N]
+//	ivory explore   -node 45nm -vin 3.3 -vout 1.0 -imax 6 -area-mm2 6 [-objective eff|area|noise] [-search exhaustive|adaptive] [-stream] [-top 10] [-json] [-timeout 30s] [-progress] [-workers N]
 //	ivory table2    -node 45nm -vin 3.3 -vout 1.0 -imax 23.5 -area-mm2 20 [-counts 1,2,4]
 //	ivory dynamic   -node 45nm -vin 3.3 -vout 1.0 -imax 6 -area-mm2 6 -step-to 9 [-csv out.csv]
 package main
@@ -81,6 +81,7 @@ func specFlags(fs *flag.FlagSet) func() (ivory.Spec, context.CancelFunc, error) 
 	imax := fs.Float64("imax", 6, "maximum load current (A)")
 	area := fs.Float64("area-mm2", 6, "die area budget (mm2)")
 	objective := fs.String("objective", "eff", "optimization objective: eff|area|noise")
+	search := fs.String("search", "exhaustive", "search strategy: exhaustive|adaptive (adaptive prunes dominated configurations without sizing them)")
 	timeout := fs.Duration("timeout", 0, "abort the exploration after this long (0 = no limit)")
 	progress := fs.Bool("progress", false, "print live exploration progress to stderr")
 	workers := fs.Int("workers", 0, "exploration worker count (0 = one per CPU, 1 = serial)")
@@ -103,6 +104,11 @@ func specFlags(fs *flag.FlagSet) func() (ivory.Spec, context.CancelFunc, error) 
 		default:
 			return s, nil, fmt.Errorf("unknown objective %q", *objective)
 		}
+		strategy, err := ivory.ParseSearch(*search)
+		if err != nil {
+			return s, nil, err
+		}
+		s.Search = strategy
 		// ^C cancels the exploration instead of killing the process: the
 		// run drains in-flight jobs and the command still prints whatever
 		// ranked prefix completed plus the stats line.
@@ -204,6 +210,7 @@ func cmdExplore(args []string) error {
 	get := specFlags(fs)
 	top := fs.Int("top", 10, "number of candidates to print")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON (the ivoryd /v1/explore wire schema)")
+	stream := fs.Bool("stream", false, "print each best-so-far improvement to stderr as the search finds it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -212,6 +219,13 @@ func cmdExplore(args []string) error {
 		return err
 	}
 	defer cancel()
+	if *stream {
+		spec.OnImproved = func(c ivory.Candidate, st ivory.ExploreStats) {
+			fmt.Fprintf(os.Stderr, "best: [%-4s] %-44s eff=%5.1f%%  area=%5.2fmm2  (evaluated %d, pruned %d)\n",
+				c.Kind, c.Label, c.Metrics.Efficiency*100, c.Metrics.AreaDie*1e6,
+				st.Evaluated(), st.Pruned())
+		}
+	}
 	res, err := ivory.Explore(spec)
 	if err != nil && res == nil {
 		return err

@@ -7,10 +7,12 @@
 //
 //	ivoryd [-addr :7077] [-workers 2] [-engine-workers 0] [-queue 16]
 //	       [-cache 128] [-timeout 60s] [-drain-timeout 30s] [-job-history 256]
+//	       [-job-ttl 15m]
 //
 // Endpoints:
 //
 //	POST /v1/explore    design-space exploration (async with "async": true)
+//	POST /v1/explore/stream  the same exploration as live SSE telemetry
 //	POST /v1/transient  workload-driven transient noise sweep
 //	GET  /v1/jobs/{id}  poll an async job
 //	GET  /healthz       200 ok | 503 draining
@@ -45,6 +47,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-job compute deadline (0 = default: 60s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 	jobHistory := flag.Int("job-history", 0, "async job records retained (0 = default: 256)")
+	jobTTL := flag.Duration("job-ttl", 0, "retention window for finished async job records; polling past it returns 404 (0 = default: 15m, negative disables)")
 	flag.Parse()
 
 	srv := server.New(server.Config{
@@ -54,6 +57,7 @@ func main() {
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
 		JobHistory:     *jobHistory,
+		JobTTL:         *jobTTL,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -26,7 +26,7 @@ func ExampleExplore() {
 	fmt.Printf("best SC family candidate: %s\n", best.Label)
 	fmt.Printf("regulates at %.2f V\n", best.Metrics.VOut)
 	// Output:
-	// best SC family candidate: series-parallel 3:1 / deep-trench caps / x13
+	// best SC family candidate: series-parallel 3:1 / deep-trench caps / x12
 	// regulates at 1.00 V
 }
 

@@ -132,6 +132,13 @@ type Spec struct {
 	Kinds []Kind
 	// FSwMax bounds switching frequency (default 1 GHz).
 	FSwMax float64
+	// Search selects the exploration strategy. SearchExhaustive (the zero
+	// value) sweeps the full configuration lattice — the paper's flow and
+	// the reference the adaptive mode is tested against. SearchAdaptive
+	// prunes with per-family analytic efficiency bounds and successive
+	// halving (see search.go) and typically evaluates an order of
+	// magnitude fewer configurations.
+	Search SearchStrategy
 	// Workers bounds the exploration worker pool: 0 uses one worker per
 	// CPU, 1 evaluates the space serially (the reference path). The ranked
 	// output is bit-identical for every worker count — candidates are
@@ -150,6 +157,15 @@ type Spec struct {
 	// shared state the jobs read — the determinism contract assumes the
 	// callback only observes.
 	Progress func(Stats)
+	// OnImproved, when non-nil, receives each candidate that improves on
+	// the best-so-far under the spec's objective, together with the
+	// telemetry snapshot at that moment. Calls are serialized like
+	// Progress and arrive on worker goroutines; the sequence of improving
+	// candidates depends on job completion order (it is monotone — every
+	// emitted candidate beats the previous one — but not deterministic
+	// under parallelism). The final emitted candidate equals Result.Best
+	// on an uncancelled run.
+	OnImproved func(Candidate, Stats)
 }
 
 func (s *Spec) defaults() error {
@@ -194,6 +210,9 @@ func (s *Spec) defaults() error {
 	}
 	if s.Workers < 0 {
 		return fmt.Errorf("core: Spec.Workers must be >= 0 (got %d)", s.Workers)
+	}
+	if s.Search < SearchExhaustive || s.Search > SearchAdaptive {
+		return fmt.Errorf("core: unknown Spec.Search %d", int(s.Search))
 	}
 	return nil
 }
@@ -279,39 +298,12 @@ func Explore(spec Spec) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Spec: spec}
-	tr := newTracker(spec.Progress)
-	// Enumeration resolves the cheap shared context (topology analyses,
-	// device lookups) up front; failures there reject exactly as the
-	// nested serial loops did. The per-configuration sizing and evaluation
-	// — the dominant cost — lands in the job list.
-	var pre shard
-	var jobs []job
-	for _, k := range spec.Kinds {
-		before := pre.rejected
-		switch k {
-		case KindSC:
-			jobs = append(jobs, enumerateSC(spec, node, &pre)...)
-		case KindBuck:
-			jobs = append(jobs, enumerateBuck(spec, node, &pre)...)
-		case KindLDO:
-			jobs = append(jobs, enumerateLDO(spec, node)...)
-		}
-		// Enumeration-time rejections belong to the family being expanded.
-		tr.stats.PerKind[k].Rejected += pre.rejected - before
-	}
-	tr.stats.Jobs = len(jobs)
-	shards := make([]shard, len(jobs))
-	ferr := parallel.ForContext(spec.Context, len(jobs), spec.Workers, func(i int) {
-		jobs[i].run(&shards[i])
-		tr.jobDone(jobs[i].kind, len(shards[i].candidates), shards[i].rejected)
-	})
-	// Merge whatever completed: on an uncancelled run that is every shard;
-	// on a cancelled one, the never-started shards are simply empty, so
-	// the merge still walks enumeration order with no gaps or tears.
-	res.Rejected = pre.rejected
-	for i := range shards {
-		res.Candidates = append(res.Candidates, shards[i].candidates...)
-		res.Rejected += shards[i].rejected
+	tr := newTracker(spec)
+	var ferr error
+	if spec.Search == SearchAdaptive {
+		ferr = exploreAdaptive(spec, node, res, tr)
+	} else {
+		ferr = exploreExhaustive(spec, node, res, tr)
 	}
 	res.Stats = tr.finalize(ferr != nil)
 	if ferr != nil {
@@ -329,6 +321,45 @@ func Explore(spec Spec) (*Result, error) {
 	res.rank()
 	res.Best = res.Candidates[0]
 	return res, nil
+}
+
+// exploreExhaustive sweeps the full configuration lattice — the paper's
+// flow and the reference path the adaptive strategy is tested against.
+func exploreExhaustive(spec Spec, node *tech.Node, res *Result, tr *tracker) error {
+	// Enumeration resolves the cheap shared context (topology analyses,
+	// device lookups) up front; failures there reject exactly as the
+	// nested serial loops did. The per-configuration sizing and evaluation
+	// — the dominant cost — lands in the job list.
+	var pre shard
+	var jobs []job
+	for _, k := range spec.Kinds {
+		before := pre.rejected
+		switch k {
+		case KindSC:
+			jobs = append(jobs, enumerateSC(spec, node, &pre)...)
+		case KindBuck:
+			jobs = append(jobs, enumerateBuck(spec, node, &pre)...)
+		case KindLDO:
+			jobs = append(jobs, enumerateLDO(spec, node)...)
+		}
+		// Enumeration-time rejections belong to the family being expanded.
+		tr.enumRejected(k, pre.rejected-before)
+	}
+	tr.addJobs(len(jobs))
+	shards := make([]shard, len(jobs))
+	ferr := parallel.ForContext(spec.Context, len(jobs), spec.Workers, func(i int) {
+		jobs[i].run(&shards[i])
+		tr.jobDone(jobs[i].kind, &shards[i])
+	})
+	// Merge whatever completed: on an uncancelled run that is every shard;
+	// on a cancelled one, the never-started shards are simply empty, so
+	// the merge still walks enumeration order with no gaps or tears.
+	res.Rejected = pre.rejected
+	for i := range shards {
+		res.Candidates = append(res.Candidates, shards[i].candidates...)
+		res.Rejected += shards[i].rejected
+	}
+	return ferr
 }
 
 // scRatios enumerates the SC conversion ratios worth trying for the spec:
@@ -362,6 +393,49 @@ func scRatios(spec Spec) []*topology.Topology {
 	return out
 }
 
+// The evaluation lattices, shared by both search strategies: the
+// exhaustive path sweeps them fully, the adaptive path probes them
+// coarsely and bisects around the incumbent (search.go). Densities are
+// picked for design resolution — ~1.2% steps on the SC capacitor share,
+// 29 log-spaced points across the buck frequency decade — at which the
+// exhaustive sweep is the high-fidelity reference and the adaptive mode
+// earns its keep.
+var (
+	// scCapKinds is the capacitor-flavour axis of the SC space.
+	scCapKinds = []tech.CapacitorKind{tech.DeepTrench, tech.MOSCap, tech.MIMCap}
+	// scCapShares is the capacitor area-share lattice.
+	scCapShares = linspace(0.50, 0.97, 41)
+	// buckFreqs is the buck switching-frequency lattice (Hz).
+	buckFreqs = geomspace(30e6, 400e6, 29)
+	// ldoSampleFreqs is the digital-LDO sample-frequency lattice (Hz).
+	ldoSampleFreqs = []float64{30e6, 60e6, 100e6, 200e6, 300e6}
+)
+
+// linspace returns n evenly spaced points over [lo, hi], endpoints exact.
+func linspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// geomspace returns n logarithmically spaced points over [lo, hi],
+// endpoints exact.
+func geomspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	r := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= r
+	}
+	out[n-1] = hi
+	return out
+}
+
 // enumerateSC expands the switched-capacitor slice of the space into one
 // job per (topology, capacitor kind, capacitor share); each job sizes and
 // evaluates both conductance-allocation policies. Topology analyses are
@@ -376,12 +450,12 @@ func enumerateSC(spec Spec, node *tech.Node, pre *shard) []job {
 			pre.rejected++
 			continue
 		}
-		for _, capKind := range []tech.CapacitorKind{tech.DeepTrench, tech.MOSCap, tech.MIMCap} {
+		for _, capKind := range scCapKinds {
 			capOpt, err := node.Capacitor(capKind)
 			if err != nil {
 				continue
 			}
-			for _, capShare := range []float64{0.50, 0.70, 0.85, 0.93, 0.97} {
+			for _, capShare := range scCapShares {
 				jobs = append(jobs, job{kind: KindSC, run: func(out *shard) {
 					evalSC(out, spec, node, an, capKind, capOpt, capShare, usable)
 				}})
@@ -392,9 +466,22 @@ func enumerateSC(spec Spec, node *tech.Node, pre *shard) []job {
 }
 
 // evalSC sizes and evaluates the two allocation-policy candidates of one
-// (topology, cap kind, cap share) cell.
+// (topology, cap kind, cap share) cell. Both conductance-allocation
+// policies are candidates: the cost-aware split wins when gate drive
+// dominates, the plain a_r split when the FSL budget is tight (it keeps
+// C·f_sw — and bottom-plate loss — lower).
 func evalSC(out *shard, spec Spec, node *tech.Node, an *topology.Analysis,
 	capKind tech.CapacitorKind, capOpt tech.CapacitorOption, capShare, usable float64) {
+	for _, uniform := range []bool{false, true} {
+		evalSCPolicy(out, spec, node, an, capKind, capOpt, capShare, usable, uniform)
+	}
+}
+
+// evalSCPolicy sizes and evaluates one (topology, cap kind, cap share,
+// allocation policy) configuration — the unit the adaptive search counts
+// and prunes individually.
+func evalSCPolicy(out *shard, spec Spec, node *tech.Node, an *topology.Analysis,
+	capKind tech.CapacitorKind, capOpt tech.CapacitorOption, capShare, usable float64, uniform bool) {
 	cTot := capOpt.DensityFPerM2 * usable * capShare * 0.9 // 10% to decap
 	cDecap := capOpt.DensityFPerM2 * usable * capShare * 0.1
 	gTot, err := sc.GTotalForSwitchArea(an, node, spec.VIn, usable*(1-capShare))
@@ -402,61 +489,55 @@ func evalSC(out *shard, spec Spec, node *tech.Node, an *topology.Analysis,
 		out.rejected++
 		return
 	}
-	// Both conductance-allocation policies are candidates: the
-	// cost-aware split wins when gate drive dominates, the
-	// plain a_r split when the FSL budget is tight (it keeps
-	// C·f_sw — and bottom-plate loss — lower).
-	for _, uniform := range []bool{false, true} {
-		cfg := sc.Config{
-			Analysis: an, Node: node, CapKind: capKind,
-			VIn: spec.VIn, VOut: spec.VOut,
-			CTotal: cTot, GTotal: gTot, CDecap: cDecap,
-			FSwMax:                  spec.FSwMax,
-			UniformSwitchAllocation: uniform,
-		}
-		d, err := sc.New(cfg)
-		if err != nil {
-			out.rejected++
-			continue
-		}
-		m, err := d.Evaluate(spec.IMax)
-		if err != nil {
-			out.rejected++
-			continue
-		}
-		// Interleave to meet the ripple target, then re-evaluate. A design
-		// whose interleaved re-evaluation fails is over the ripple target
-		// with no way to fix it — reject it rather than keep the
-		// single-phase version that already missed the spec.
-		if m.RippleVpp > spec.RippleMax {
-			n := int(math.Ceil(m.RippleVpp / spec.RippleMax))
-			if n > 64 {
-				n = 64
-			}
-			cfg.Interleave = n
-			d2, err := sc.New(cfg)
-			if err != nil {
-				out.rejected++
-				continue
-			}
-			m2, err := d2.Evaluate(spec.IMax)
-			if err != nil {
-				out.rejected++
-				continue
-			}
-			d, m = d2, m2
-		}
-		if m.AreaDie > spec.AreaMax {
-			out.rejected++
-			continue
-		}
-		out.candidates = append(out.candidates, Candidate{
-			Kind:    KindSC,
-			Label:   fmt.Sprintf("%s / %v caps / x%d", an.Name, capKind, d.Config().Interleave),
-			Metrics: m,
-			SC:      d,
-		})
+	cfg := sc.Config{
+		Analysis: an, Node: node, CapKind: capKind,
+		VIn: spec.VIn, VOut: spec.VOut,
+		CTotal: cTot, GTotal: gTot, CDecap: cDecap,
+		FSwMax:                  spec.FSwMax,
+		UniformSwitchAllocation: uniform,
 	}
+	d, err := sc.New(cfg)
+	if err != nil {
+		out.rejected++
+		return
+	}
+	m, err := d.Evaluate(spec.IMax)
+	if err != nil {
+		out.rejected++
+		return
+	}
+	// Interleave to meet the ripple target, then re-evaluate. A design
+	// whose interleaved re-evaluation fails is over the ripple target
+	// with no way to fix it — reject it rather than keep the
+	// single-phase version that already missed the spec.
+	if m.RippleVpp > spec.RippleMax {
+		n := int(math.Ceil(m.RippleVpp / spec.RippleMax))
+		if n > 64 {
+			n = 64
+		}
+		cfg.Interleave = n
+		d2, err := sc.New(cfg)
+		if err != nil {
+			out.rejected++
+			return
+		}
+		m2, err := d2.Evaluate(spec.IMax)
+		if err != nil {
+			out.rejected++
+			return
+		}
+		d, m = d2, m2
+	}
+	if m.AreaDie > spec.AreaMax {
+		out.rejected++
+		return
+	}
+	out.candidates = append(out.candidates, Candidate{
+		Kind:    KindSC,
+		Label:   fmt.Sprintf("%s / %v caps / x%d", an.Name, capKind, d.Config().Interleave),
+		Metrics: m,
+		SC:      d,
+	})
 }
 
 // enumerateBuck expands the buck slice into one job per (phase count,
@@ -478,7 +559,7 @@ func enumerateBuck(spec Spec, node *tech.Node, pre *shard) []job {
 		if phases < 1 || phases > 64 {
 			continue
 		}
-		for _, fsw := range []float64{30e6, 60e6, 100e6, 150e6, 250e6, 400e6} {
+		for _, fsw := range buckFreqs {
 			if fsw > spec.FSwMax {
 				continue
 			}
@@ -549,7 +630,7 @@ func evalBuck(out *shard, spec Spec, node *tech.Node, ind tech.InductorOption,
 // frequency.
 func enumerateLDO(spec Spec, node *tech.Node) []job {
 	var jobs []job
-	for _, fs := range []float64{30e6, 100e6, 300e6} {
+	for _, fs := range ldoSampleFreqs {
 		if fs > spec.FSwMax {
 			continue
 		}
@@ -604,29 +685,13 @@ func evalLDO(out *shard, spec Spec, node *tech.Node, fs float64) {
 	})
 }
 
-// rank orders candidates per the objective.
+// rank orders candidates per the objective. The order is total: objective
+// ties fall through to the canonical candidate key and rows with
+// non-finite metrics sort last, so the ranked list is byte-identical for
+// any input permutation (see pareto.go).
 func (r *Result) rank() {
-	obj := r.Spec.Objective
-	floor := r.Spec.EfficiencyFloor
-	less := func(a, b Candidate) bool {
-		switch obj {
-		case MinArea:
-			aOK, bOK := a.Metrics.Efficiency >= floor, b.Metrics.Efficiency >= floor
-			if aOK != bOK {
-				return aOK
-			}
-			return a.Metrics.AreaDie < b.Metrics.AreaDie
-		case MinNoise:
-			aOK, bOK := a.Metrics.Efficiency >= floor, b.Metrics.Efficiency >= floor
-			if aOK != bOK {
-				return aOK
-			}
-			return a.Metrics.RippleVpp < b.Metrics.RippleVpp
-		default:
-			return a.Metrics.Efficiency > b.Metrics.Efficiency
-		}
-	}
-	sort.SliceStable(r.Candidates, func(i, j int) bool { return less(r.Candidates[i], r.Candidates[j]) })
+	less := rankLess(r.Spec.Objective, r.Spec.EfficiencyFloor)
+	sort.Slice(r.Candidates, func(i, j int) bool { return less(r.Candidates[i], r.Candidates[j]) })
 }
 
 // BestOfKind returns the top-ranked candidate of the given family, or false
@@ -641,26 +706,25 @@ func (r *Result) BestOfKind(k Kind) (Candidate, bool) {
 }
 
 // ParetoFront returns the candidates not dominated in the
-// (efficiency up, area down) plane, sorted by area — the trade-off curve a
-// designer actually chooses from when neither objective is absolute.
+// (efficiency up, area down) plane, sorted by area then canonical key —
+// the trade-off curve a designer actually chooses from when neither
+// objective is absolute. Rows with non-finite metrics are excluded; the
+// front is built by incremental insertion (see ParetoSet) and is
+// independent of candidate order.
 func (r *Result) ParetoFront() []Candidate {
-	var front []Candidate
+	p := NewParetoSet()
 	for _, c := range r.Candidates {
-		dominated := false
-		for _, d := range r.Candidates {
-			if d.Metrics.Efficiency >= c.Metrics.Efficiency &&
-				d.Metrics.AreaDie <= c.Metrics.AreaDie &&
-				(d.Metrics.Efficiency > c.Metrics.Efficiency || d.Metrics.AreaDie < c.Metrics.AreaDie) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			front = append(front, c)
-		}
+		p.Insert(c)
 	}
-	sort.Slice(front, func(i, j int) bool {
-		return front[i].Metrics.AreaDie < front[j].Metrics.AreaDie
-	})
-	return front
+	return p.Front()
+}
+
+// MultiObjectiveFront is the three-objective flavour of ParetoFront:
+// candidates not dominated in (efficiency up, area down, ripple down).
+func (r *Result) MultiObjectiveFront() []Candidate {
+	p := NewParetoSetNoise()
+	for _, c := range r.Candidates {
+		p.Insert(c)
+	}
+	return p.Front()
 }

@@ -45,6 +45,15 @@ type Stats struct {
 	// GridCholesky/GridCG count grid solver contexts built during the run
 	// on the banded direct path vs the conjugate-gradient fallback.
 	GridCholesky, GridCG int64
+	// PrunedBound counts configurations the adaptive search skipped
+	// because their family's analytic efficiency ceiling could not beat
+	// the established winners; PrunedHalving counts configurations skipped
+	// by successive halving (dropped lattice cells and never-refined grid
+	// points). Both are zero on an exhaustive run.
+	PrunedBound, PrunedHalving int
+	// FrontSize is the cardinality of the incrementally maintained
+	// (efficiency, area) Pareto front over the accepted candidates.
+	FrontSize int
 	// Wall is the elapsed time of the evaluation phase.
 	Wall time.Duration
 	// CandidatesPerSec is Evaluated()/Wall — the paper's "sweeps are
@@ -84,6 +93,10 @@ func (s Stats) Rejected() int {
 // Evaluated is the total number of configurations visited.
 func (s Stats) Evaluated() int { return s.Accepted() + s.Rejected() }
 
+// Pruned is the total number of configurations the adaptive search
+// skipped without evaluating.
+func (s Stats) Pruned() int { return s.PrunedBound + s.PrunedHalving }
+
 // String renders the one-line run summary the CLIs print.
 func (s Stats) String() string {
 	var b strings.Builder
@@ -99,6 +112,10 @@ func (s Stats) String() string {
 	if len(parts) > 0 {
 		fmt.Fprintf(&b, "; %s", strings.Join(parts, ", "))
 	}
+	if s.Pruned() > 0 {
+		fmt.Fprintf(&b, "; %d pruned (%d bound, %d halving)",
+			s.Pruned(), s.PrunedBound, s.PrunedHalving)
+	}
 	fmt.Fprintf(&b, "), topo cache %d hit/%d miss, grid %d chol/%d cg, %s",
 		s.TopoCacheHits, s.TopoCacheMisses, s.GridCholesky, s.GridCG,
 		s.Wall.Round(time.Millisecond))
@@ -112,21 +129,34 @@ func (s Stats) String() string {
 }
 
 // tracker accumulates Stats during the evaluation fan-out and feeds the
-// optional progress callback. Counter updates and callback invocations are
-// serialized under one mutex, so Spec.Progress never runs reentrantly even
-// though completions arrive from many worker goroutines.
+// optional progress/improvement callbacks. Counter updates and callback
+// invocations are serialized under one mutex, so Spec.Progress and
+// Spec.OnImproved never run reentrantly even though completions arrive
+// from many worker goroutines. The tracker also maintains the best-so-far
+// candidate under the spec's objective and the incremental Pareto front
+// over everything accepted.
 type tracker struct {
-	mu       sync.Mutex
-	stats    Stats
-	progress func(Stats)
-	start    time.Time
+	mu         sync.Mutex
+	stats      Stats
+	progress   func(Stats)
+	onImproved func(Candidate, Stats)
+	less       func(a, b Candidate) bool
+	best       *Candidate
+	front      *ParetoSet
+	start      time.Time
 	// Baselines for diffing the package-wide cache counters.
 	topoHits0, topoMisses0 int64
 	gridChol0, gridCG0     int64
 }
 
-func newTracker(progress func(Stats)) *tracker {
-	t := &tracker{progress: progress, start: time.Now()}
+func newTracker(spec Spec) *tracker {
+	t := &tracker{
+		progress:   spec.Progress,
+		onImproved: spec.OnImproved,
+		less:       rankLess(spec.Objective, spec.EfficiencyFloor),
+		front:      NewParetoSet(),
+		start:      time.Now(),
+	}
 	t.topoHits0, t.topoMisses0 = topology.CacheStats()
 	t.gridChol0, t.gridCG0 = grid.SolverStats()
 	return t
@@ -139,6 +169,7 @@ func (t *tracker) snapshotLocked() Stats {
 	s.TopoCacheHits, s.TopoCacheMisses = h-t.topoHits0, m-t.topoMisses0
 	c, g := grid.SolverStats()
 	s.GridCholesky, s.GridCG = c-t.gridChol0, g-t.gridCG0
+	s.FrontSize = t.front.Size()
 	s.Wall = time.Since(t.start)
 	if secs := s.Wall.Seconds(); secs > 0 {
 		s.CandidatesPerSec = float64(s.Evaluated()) / secs
@@ -146,14 +177,58 @@ func (t *tracker) snapshotLocked() Stats {
 	return s
 }
 
-// jobDone records one completed job's outcome and, when a progress
-// callback is registered, hands it a snapshot.
-func (t *tracker) jobDone(kind Kind, accepted, rejected int) {
+// addJobs grows the planned-job count. The exhaustive path calls it once;
+// the adaptive path calls it at every stage boundary as the surviving
+// lattice is expanded.
+func (t *tracker) addJobs(n int) {
+	t.mu.Lock()
+	t.stats.Jobs += n
+	t.mu.Unlock()
+}
+
+// enumRejected attributes enumeration-time rejections (topology analysis,
+// device lookup) to a family before any job runs.
+func (t *tracker) enumRejected(kind Kind, n int) {
+	t.mu.Lock()
+	t.stats.PerKind[kind].Rejected += n
+	t.mu.Unlock()
+}
+
+// prunedBound / prunedHalving count configurations the adaptive search
+// skipped without evaluating.
+func (t *tracker) prunedBound(n int) {
+	t.mu.Lock()
+	t.stats.PrunedBound += n
+	t.mu.Unlock()
+}
+
+func (t *tracker) prunedHalving(n int) {
+	t.mu.Lock()
+	t.stats.PrunedHalving += n
+	t.mu.Unlock()
+}
+
+// jobDone records one completed job's outcome, folds its candidates into
+// the best-so-far and the Pareto front, and fires the callbacks.
+func (t *tracker) jobDone(kind Kind, sh *shard) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats.Done++
-	t.stats.PerKind[kind].Accepted += accepted
-	t.stats.PerKind[kind].Rejected += rejected
+	t.stats.PerKind[kind].Accepted += len(sh.candidates)
+	t.stats.PerKind[kind].Rejected += sh.rejected
+	improved := false
+	for i := range sh.candidates {
+		c := sh.candidates[i]
+		t.front.Insert(c)
+		if t.best == nil || t.less(c, *t.best) {
+			cc := c
+			t.best = &cc
+			improved = true
+		}
+	}
+	if improved && t.onImproved != nil {
+		t.onImproved(*t.best, t.snapshotLocked())
+	}
 	if t.progress != nil {
 		t.progress(t.snapshotLocked())
 	}

@@ -427,7 +427,7 @@ func TestComplexLUFrequencySweepEquivalence(t *testing.T) {
 		want := denseComplexSolve(t, m, b, n)
 		num, den := 0.0, 0.0
 		for i := range x {
-			num += cmplx.Abs(x[i] - want[i]) * cmplx.Abs(x[i]-want[i])
+			num += cmplx.Abs(x[i]-want[i]) * cmplx.Abs(x[i]-want[i])
 			den += cmplx.Abs(want[i]) * cmplx.Abs(want[i])
 		}
 		if math.Sqrt(num/den) > 1e-9 {

@@ -44,12 +44,21 @@ type SpecDTO struct {
 	Kinds []string `json:"kinds,omitempty"`
 	// FSwMaxHz bounds switching frequency; 0 selects 1 GHz.
 	FSwMaxHz float64 `json:"fsw_max_hz,omitempty"`
+	// Search is "exhaustive" | "adaptive" (aliases "full" / "pruned");
+	// empty selects the exhaustive reference sweep. Adaptive prunes with
+	// analytic bounds and successive halving and returns the same ranked
+	// winners at a fraction of the evaluations.
+	Search string `json:"search,omitempty"`
 }
 
 // ToSpec converts the DTO into an engine spec. Validation beyond parsing
 // (positive voltages, known node, ...) happens in core.Spec.Normalized.
 func (d SpecDTO) ToSpec() (core.Spec, error) {
 	obj, err := core.ParseObjective(d.Objective)
+	if err != nil {
+		return core.Spec{}, err
+	}
+	search, err := core.ParseSearch(d.Search)
 	if err != nil {
 		return core.Spec{}, err
 	}
@@ -72,6 +81,7 @@ func (d SpecDTO) ToSpec() (core.Spec, error) {
 		EfficiencyFloor: d.EfficiencyFloor,
 		Kinds:           kinds,
 		FSwMax:          d.FSwMaxHz,
+		Search:          search,
 	}, nil
 }
 
@@ -93,6 +103,7 @@ func SpecDTOFromSpec(s core.Spec) SpecDTO {
 		EfficiencyFloor: s.EfficiencyFloor,
 		Kinds:           kinds,
 		FSwMaxHz:        s.FSwMax,
+		Search:          s.Search.String(),
 	}
 }
 
@@ -125,6 +136,8 @@ func SpecHash(s core.Spec) string {
 	}
 	b.WriteString(";obj=")
 	b.WriteString(s.Objective.String())
+	b.WriteString(";search=")
+	b.WriteString(s.Search.String())
 	b.WriteString(";kinds=")
 	b.WriteString(strings.Join(kinds, ","))
 	h := fnv.New64a()
@@ -210,6 +223,9 @@ type ExploreStatsDTO struct {
 	Accepted         int            `json:"accepted"`
 	Rejected         int            `json:"rejected"`
 	PerKind          []KindStatsDTO `json:"per_kind"`
+	PrunedBound      int            `json:"pruned_bound"`
+	PrunedHalving    int            `json:"pruned_halving"`
+	FrontSize        int            `json:"front_size"`
 	TopoCacheHits    int64          `json:"topo_cache_hits"`
 	TopoCacheMisses  int64          `json:"topo_cache_misses"`
 	GridCholesky     int64          `json:"grid_cholesky"`
@@ -225,6 +241,9 @@ func exploreStatsDTO(s core.Stats) ExploreStatsDTO {
 		Done:             s.Done,
 		Accepted:         s.Accepted(),
 		Rejected:         s.Rejected(),
+		PrunedBound:      s.PrunedBound,
+		PrunedHalving:    s.PrunedHalving,
+		FrontSize:        s.FrontSize,
 		TopoCacheHits:    s.TopoCacheHits,
 		TopoCacheMisses:  s.TopoCacheMisses,
 		GridCholesky:     s.GridCholesky,

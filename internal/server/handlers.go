@@ -19,6 +19,7 @@ const maxBodyBytes = 1 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
+	mux.HandleFunc("POST /v1/explore/stream", s.instrument("explore_stream", s.handleExploreStream))
 	mux.HandleFunc("POST /v1/transient", s.instrument("transient", s.handleTransient))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
@@ -35,6 +36,14 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so SSE events leave the process
+// as they are produced instead of sitting in the buffer until the run ends.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with the request counter and latency
@@ -59,41 +68,41 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// retryAfterS is the hint sent with 429/503: one in-queue job's worth of
-// patience. Sizing it off live queue depth would be guesswork; a constant
-// keeps clients honest and simple.
-const retryAfterS = 1
-
-func writeError(w http.ResponseWriter, code int, msg string) {
+// writeError renders the uniform error body. 429/503 responses carry a
+// Retry-After hint derived from the observed queue drain rate
+// (Server.retryAfterSeconds): average job wall time scaled by the work
+// queued ahead, bounded to [1, 60] seconds.
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
 	resp := ErrorResponse{Error: msg}
 	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterS))
-		resp.RetryAfterS = retryAfterS
+		retry := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		resp.RetryAfterS = retry
 	}
 	writeJSON(w, code, resp)
 }
 
 // decodeJSON strictly decodes the body into v: unknown fields are a 400,
 // keeping the DTO schema load-bearing instead of advisory.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return false
 	}
 	return true
 }
 
 // submitError maps admission failures to HTTP.
-func submitError(w http.ResponseWriter, err error) {
+func (s *Server) submitError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrBusy):
-		writeError(w, http.StatusTooManyRequests, "job queue full; retry shortly")
+		s.writeError(w, http.StatusTooManyRequests, "job queue full; retry shortly")
 	case errors.Is(err, errDraining):
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		s.writeError(w, http.StatusServiceUnavailable, "server draining")
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		s.writeError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 
@@ -111,7 +120,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, endpoint, hash
 	timeout time.Duration, fn jobFunc, render func(w http.ResponseWriter, val any), onError func(w http.ResponseWriter, err error)) {
 	fl, err := s.execute(endpoint, hash, timeout, fn)
 	if err != nil {
-		submitError(w, err)
+		s.submitError(w, err)
 		return
 	}
 	if async {
@@ -127,7 +136,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, endpoint, hash
 	select {
 	case <-fl.done:
 	case <-r.Context().Done():
-		writeError(w, http.StatusGatewayTimeout,
+		s.writeError(w, http.StatusGatewayTimeout,
 			"request abandoned while the computation runs; retry to pick up the cached result")
 		return
 	}
@@ -143,17 +152,17 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, endpoint, hash
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	var req ExploreRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	spec, err := req.Spec.ToSpec()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	norm, err := spec.Normalized()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	hash := SpecHash(norm)
@@ -166,10 +175,12 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		if xerr != nil {
 			if res != nil && len(res.Candidates) > 0 && isCancel(xerr) {
 				// Ranked partial (deadline/drain): deliver, don't cache.
+				s.metrics.notePruned(res.Stats.PrunedBound, res.Stats.PrunedHalving)
 				return ExploreResponseFromResult(res, xerr), xerr, false
 			}
 			return nil, xerr, false
 		}
+		s.metrics.notePruned(res.Stats.PrunedBound, res.Stats.PrunedHalving)
 		return ExploreResponseFromResult(res, nil), nil, true
 	}
 	s.dispatch(w, r, "explore", hash, req.Async, s.timeoutFor(req.TimeoutMS), fn,
@@ -182,24 +193,24 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			case errors.As(err, &inf):
 				// The space was swept and nothing fits the budget: a valid
 				// question with an unwelcome answer, not a server fault.
-				writeError(w, http.StatusUnprocessableEntity, err.Error())
+				s.writeError(w, http.StatusUnprocessableEntity, err.Error())
 			case errors.Is(err, context.DeadlineExceeded):
-				writeError(w, http.StatusGatewayTimeout, "exploration exceeded its deadline before any candidate completed")
+				s.writeError(w, http.StatusGatewayTimeout, "exploration exceeded its deadline before any candidate completed")
 			case errors.Is(err, context.Canceled):
-				writeError(w, http.StatusServiceUnavailable, "exploration cancelled (server draining)")
+				s.writeError(w, http.StatusServiceUnavailable, "exploration cancelled (server draining)")
 			default:
-				writeError(w, http.StatusInternalServerError, err.Error())
+				s.writeError(w, http.StatusInternalServerError, err.Error())
 			}
 		})
 }
 
 func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 	var req TransientRequest
-	if !decodeJSON(w, r, &req) {
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.TUS < 0 || req.DtNS < 0 {
-		writeError(w, http.StatusBadRequest, "t_us and dt_ns must be >= 0")
+		s.writeError(w, http.StatusBadRequest, "t_us and dt_ns must be >= 0")
 		return
 	}
 	hash := req.Hash()
@@ -218,21 +229,25 @@ func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 		func(w http.ResponseWriter, err error) {
 			switch {
 			case errors.Is(err, context.DeadlineExceeded):
-				writeError(w, http.StatusGatewayTimeout, "transient sweep exceeded its deadline")
+				s.writeError(w, http.StatusGatewayTimeout, "transient sweep exceeded its deadline")
 			case errors.Is(err, context.Canceled):
-				writeError(w, http.StatusServiceUnavailable, "transient sweep cancelled (server draining)")
+				s.writeError(w, http.StatusServiceUnavailable, "transient sweep cancelled (server draining)")
 			default:
 				// The engine validates inputs (benchmark names, IVR counts)
 				// before simulating; those surface as client errors.
-				writeError(w, http.StatusBadRequest, err.Error())
+				s.writeError(w, http.StatusBadRequest, err.Error())
 			}
 		})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	// 404 covers three cases with one answer: an id that never existed, a
+	// finished record past the retention TTL, and a record evicted
+	// finished-first under the JobHistory cap. Clients must treat job ids
+	// as expiring handles, not durable names.
 	rec, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job (records are evicted oldest-first)")
+		s.writeError(w, http.StatusNotFound, "no such job (records expire after the retention TTL and are evicted under the history cap)")
 		return
 	}
 	writeJSON(w, http.StatusOK, rec.snapshot())

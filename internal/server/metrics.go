@@ -28,9 +28,11 @@ type counterVec struct {
 
 func newCounterVec() *counterVec { return &counterVec{m: map[string]int64{}} }
 
-func (c *counterVec) inc(labels string) {
+func (c *counterVec) inc(labels string) { c.add(labels, 1) }
+
+func (c *counterVec) add(labels string, n int64) {
 	c.mu.Lock()
-	c.m[labels]++
+	c.m[labels] += n
 	c.mu.Unlock()
 }
 
@@ -90,14 +92,30 @@ type metrics struct {
 	// jobsSubmitted/jobsRejected count queue admissions vs 429 sheds.
 	jobsSubmitted *counterVec
 	jobsRejected  *counterVec
+	// candidatesPruned counts configurations the adaptive search skipped
+	// without sizing, by pruning strategy (bound | halving).
+	candidatesPruned *counterVec
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:      newCounterVec(),
-		latency:       newHistogramVec(),
-		jobsSubmitted: newCounterVec(),
-		jobsRejected:  newCounterVec(),
+		requests:         newCounterVec(),
+		latency:          newHistogramVec(),
+		jobsSubmitted:    newCounterVec(),
+		jobsRejected:     newCounterVec(),
+		candidatesPruned: newCounterVec(),
+	}
+}
+
+// notePruned folds one finished exploration's pruning telemetry into the
+// counter. Cache hits do not recount: the counter tracks configurations
+// actually skipped by compute jobs.
+func (m *metrics) notePruned(bound, halving int) {
+	if bound > 0 {
+		m.candidatesPruned.add(`strategy="bound"`, int64(bound))
+	}
+	if halving > 0 {
+		m.candidatesPruned.add(`strategy="halving"`, int64(halving))
 	}
 }
 
@@ -154,6 +172,7 @@ func (m *metrics) write(w io.Writer, g gaugeSnapshot) {
 	writeCounterFamily(w, "ivoryd_requests_total", "Finished HTTP requests by endpoint and status code.", m.requests.snapshot())
 	writeCounterFamily(w, "ivoryd_jobs_submitted_total", "Jobs admitted to the compute queue by endpoint.", m.jobsSubmitted.snapshot())
 	writeCounterFamily(w, "ivoryd_jobs_rejected_total", "Jobs shed with 429 because the queue was full, by endpoint.", m.jobsRejected.snapshot())
+	writeCounterFamily(w, "ivoryd_candidates_pruned_total", "Configurations the adaptive search skipped without sizing, by strategy.", m.candidatesPruned.snapshot())
 
 	// Histogram family.
 	name := "ivoryd_request_duration_seconds"

@@ -85,18 +85,68 @@ func (j *jobRecord) snapshot() JobStatus {
 	return s
 }
 
-// jobRegistry retains up to cap records, evicting the oldest once over
-// capacity (finished or not — an evicted running job keeps computing and
-// lands in the result cache; only its polling handle is gone).
+// finishedAt reports the record's completion time, if it has one.
+func (j *jobRecord) finishedAt() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished, !j.finished.IsZero()
+}
+
+// jobRegistry bounds retained records two ways. A TTL expires finished
+// records a fixed window after completion (running records never age out —
+// their flight is still live), swept lazily on every add/get/len so the
+// ivoryd_async_jobs_tracked gauge stabilizes under churn instead of only
+// shrinking when the cap overflows. The cap is the hard memory bound:
+// once over it, finished records are evicted oldest-first; only when every
+// retained record is still running does the registry drop running handles,
+// oldest-first (the evicted job keeps computing and lands in the result
+// cache; only its polling handle is gone).
 type jobRegistry struct {
 	mu    sync.Mutex
 	m     map[string]*jobRecord
-	order []string
+	order []string // insertion order, oldest first
 	cap   int
+	ttl   time.Duration    // <= 0 disables TTL expiry
+	now   func() time.Time // injectable clock for the retention tests
 }
 
-func newJobRegistry(capacity int) *jobRegistry {
-	return &jobRegistry{m: map[string]*jobRecord{}, cap: capacity}
+func newJobRegistry(capacity int, ttl time.Duration) *jobRegistry {
+	return &jobRegistry{m: map[string]*jobRecord{}, cap: capacity, ttl: ttl, now: time.Now}
+}
+
+// sweepLocked applies TTL expiry, then the cap. r.mu must be held.
+func (r *jobRegistry) sweepLocked() {
+	if r.ttl > 0 {
+		cutoff := r.now().Add(-r.ttl)
+		keep := r.order[:0]
+		for _, id := range r.order {
+			if t, done := r.m[id].finishedAt(); done && t.Before(cutoff) {
+				delete(r.m, id)
+				continue
+			}
+			keep = append(keep, id)
+		}
+		r.order = keep
+	}
+	if over := len(r.order) - r.cap; over > 0 {
+		keep := r.order[:0]
+		for _, id := range r.order {
+			if _, done := r.m[id].finishedAt(); done && over > 0 {
+				delete(r.m, id)
+				over--
+				continue
+			}
+			keep = append(keep, id)
+		}
+		r.order = keep
+	}
+	// Still over cap: everything left is running. Drop the oldest handles.
+	if over := len(r.order) - r.cap; over > 0 {
+		for _, id := range r.order[:over] {
+			delete(r.m, id)
+		}
+		r.order = append(r.order[:0], r.order[over:]...)
+	}
 }
 
 func (r *jobRegistry) add(rec *jobRecord) {
@@ -104,15 +154,13 @@ func (r *jobRegistry) add(rec *jobRecord) {
 	defer r.mu.Unlock()
 	r.m[rec.id] = rec
 	r.order = append(r.order, rec.id)
-	for len(r.order) > r.cap {
-		delete(r.m, r.order[0])
-		r.order = r.order[1:]
-	}
+	r.sweepLocked()
 }
 
 func (r *jobRegistry) get(id string) (*jobRecord, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.sweepLocked()
 	rec, ok := r.m[id]
 	return rec, ok
 }
@@ -120,6 +168,7 @@ func (r *jobRegistry) get(id string) (*jobRecord, bool) {
 func (r *jobRegistry) len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.sweepLocked()
 	return len(r.m)
 }
 

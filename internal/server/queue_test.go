@@ -1,0 +1,210 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ivory/internal/core"
+)
+
+// TestJobRegistryTTLExpiresFinishedOnly: the TTL ages out finished records
+// and never touches running ones — their flight is still live and a poller
+// holding the id must keep seeing it.
+func TestJobRegistryTTLExpiresFinishedOnly(t *testing.T) {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	now := base
+	r := newJobRegistry(8, time.Minute)
+	r.now = func() time.Time { return now }
+
+	r.add(&jobRecord{id: "done-1", status: JobDone, created: base, finished: base})
+	r.add(&jobRecord{id: "run-1", status: JobRunning, created: base})
+	if got := r.len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+
+	now = base.Add(30 * time.Second) // inside the TTL: nothing expires
+	if got := r.len(); got != 2 {
+		t.Fatalf("len inside TTL = %d, want 2", got)
+	}
+
+	now = base.Add(2 * time.Minute) // past the TTL
+	if _, ok := r.get("done-1"); ok {
+		t.Error("finished record survived past the TTL")
+	}
+	if _, ok := r.get("run-1"); !ok {
+		t.Error("running record aged out; running jobs must never expire")
+	}
+	if got := r.len(); got != 1 {
+		t.Errorf("len past TTL = %d, want 1", got)
+	}
+}
+
+// TestJobRegistryCapEvictsFinishedFirst: over the cap, finished records go
+// oldest-first; running handles are dropped only when every retained
+// record is still running.
+func TestJobRegistryCapEvictsFinishedFirst(t *testing.T) {
+	mk := func(id, status string) *jobRecord {
+		rec := &jobRecord{id: id, status: status, created: time.Now()}
+		if status != JobRunning {
+			rec.finished = time.Now()
+		}
+		return rec
+	}
+	r := newJobRegistry(3, -1) // TTL disabled: the cap is the only bound
+
+	r.add(mk("run-1", JobRunning))
+	r.add(mk("done-1", JobDone))
+	r.add(mk("run-2", JobRunning))
+	r.add(mk("done-2", JobDone)) // 4th record: oldest finished goes
+	if _, ok := r.get("done-1"); ok {
+		t.Error("oldest finished record survived the cap")
+	}
+	for _, id := range []string{"run-1", "run-2", "done-2"} {
+		if _, ok := r.get(id); !ok {
+			t.Errorf("record %s evicted ahead of the oldest finished one", id)
+		}
+	}
+
+	r.add(mk("run-3", JobRunning)) // evicts done-2, the only finished record
+	if _, ok := r.get("done-2"); ok {
+		t.Error("finished record retained while over cap")
+	}
+
+	r.add(mk("run-4", JobRunning)) // all running: oldest running handle goes
+	if _, ok := r.get("run-1"); ok {
+		t.Error("oldest running handle survived an all-running overflow")
+	}
+	for _, id := range []string{"run-2", "run-3", "run-4"} {
+		if _, ok := r.get(id); !ok {
+			t.Errorf("running record %s dropped out of order", id)
+		}
+	}
+	if got := r.len(); got != 3 {
+		t.Errorf("len = %d, want cap 3", got)
+	}
+}
+
+// TestAsyncJobGaugeStabilizesUnderChurn is the retention acceptance test:
+// a burst of async jobs far beyond the history cap leaves
+// ivoryd_async_jobs_tracked at (or under) the cap instead of growing
+// without bound, and an evicted id polls as 404.
+func TestAsyncJobGaugeStabilizesUnderChurn(t *testing.T) {
+	const histCap = 4
+	s := New(Config{Workers: 2, QueueDepth: 32, EngineWorkers: 1, JobHistory: histCap, JobTTL: -1})
+	s.explore = func(sp core.Spec) (*core.Result, error) {
+		return fakeExploreResult(sp, 1), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const churn = 20
+	ids := make([]string, 0, churn)
+	for i := 0; i < churn; i++ {
+		// Distinct specs so no two jobs coalesce onto one flight.
+		body := fmt.Sprintf(`{"spec":{"node":"45nm","vin_v":1.8,"vout_v":%g,"imax_a":1,"area_mm2":2},"async":true}`, 0.5+float64(i)*0.01)
+		resp, b := postJSON(t, ts.URL+"/v1/explore", body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: status %d (%s)", i, resp.StatusCode, b)
+		}
+		var js JobStatus
+		if err := json.Unmarshal(b, &js); err != nil || js.ID == "" {
+			t.Fatalf("job %d: bad 202 body %q (%v)", i, b, err)
+		}
+		ids = append(ids, js.ID)
+		// Drive each job to done before submitting the next, so the registry
+		// sees a steady stream of finished records churning through.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			_, pb := getJSON(t, ts.URL+"/v1/jobs/"+js.ID)
+			var got JobStatus
+			if err := json.Unmarshal(pb, &got); err != nil {
+				t.Fatalf("poll %d: %v (%s)", i, err, pb)
+			}
+			if got.Status == JobDone {
+				break
+			}
+			if got.Status == JobError {
+				t.Fatalf("job %d failed: %s", i, got.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d stuck in %q", i, got.Status)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	if got := s.jobs.len(); got > histCap {
+		t.Errorf("registry holds %d records after churn, want <= cap %d", got, histCap)
+	}
+	_, mb := getJSON(t, ts.URL+"/metrics")
+	m := parseExposition(string(mb))
+	if g, ok := m["ivoryd_async_jobs_tracked"]; !ok || g > histCap {
+		t.Errorf("ivoryd_async_jobs_tracked = %g (present=%v), want <= %d", g, ok, histCap)
+	}
+
+	// The earliest job finished long ago and was evicted under the cap.
+	if resp, _ := getJSON(t, ts.URL+"/v1/jobs/"+ids[0]); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job id: status %d, want 404", resp.StatusCode)
+	}
+	// The most recent job is still pollable.
+	if resp, _ := getJSON(t, ts.URL+"/v1/jobs/"+ids[churn-1]); resp.StatusCode != http.StatusOK {
+		t.Errorf("freshest job id: status %d, want 200", resp.StatusCode)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestAsyncJobTTLReturns404: a finished record polls as 404 once its
+// retention TTL lapses, and the tracked-jobs gauge returns to zero.
+func TestAsyncJobTTLReturns404(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 2, EngineWorkers: 1, JobTTL: 30 * time.Millisecond})
+	s.explore = func(sp core.Spec) (*core.Result, error) {
+		return fakeExploreResult(sp, 1), nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, b := postJSON(t, ts.URL+"/v1/explore",
+		`{"spec":{"node":"45nm","vin_v":1.8,"vout_v":0.9,"imax_a":1,"area_mm2":2},"async":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d (%s)", resp.StatusCode, b)
+	}
+	var js JobStatus
+	if err := json.Unmarshal(b, &js); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, pb := getJSON(t, ts.URL+"/v1/jobs/"+js.ID)
+		var got JobStatus
+		if err := json.Unmarshal(pb, &got); err != nil {
+			t.Fatalf("poll: %v (%s)", err, pb)
+		}
+		if got.Status == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", got.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	time.Sleep(60 * time.Millisecond) // 2x the TTL: the record has lapsed
+	if resp, _ := getJSON(t, ts.URL+"/v1/jobs/"+js.ID); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("expired job id: status %d, want 404", resp.StatusCode)
+	}
+	if got := s.jobs.len(); got != 0 {
+		t.Errorf("registry holds %d records after TTL expiry, want 0", got)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

@@ -39,6 +39,10 @@ type Config struct {
 	RequestTimeout time.Duration
 	// JobHistory bounds retained async job records. 0 selects 256.
 	JobHistory int
+	// JobTTL expires finished async job records this long after they
+	// complete; polling an expired id returns 404. 0 selects 15m; negative
+	// disables TTL expiry (the JobHistory cap still applies).
+	JobTTL time.Duration
 }
 
 func (c *Config) defaults() {
@@ -66,6 +70,9 @@ func (c *Config) defaults() {
 	if c.JobHistory <= 0 {
 		c.JobHistory = 256
 	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 15 * time.Minute
+	}
 }
 
 // ErrBusy is returned (as HTTP 429) when the job queue is full.
@@ -79,12 +86,13 @@ var errDraining = errors.New("server: draining")
 // and drain. Build with New, mount Handler on any http.Server or call
 // Serve, stop with Shutdown.
 type Server struct {
-	cfg     Config
-	pool    *parallel.Pool
-	cache   *resultCache
-	flights *flightGroup
-	jobs    *jobRegistry
-	metrics *metrics
+	cfg      Config
+	pool     *parallel.Pool
+	cache    *resultCache
+	flights  *flightGroup
+	jobs     *jobRegistry
+	metrics  *metrics
+	drainEst *drainEstimator
 
 	// baseCtx parents every job context; baseCancel fires when the drain
 	// window closes so in-flight engines return their ranked partials.
@@ -111,8 +119,9 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		cache:     newResultCache(cfg.CacheEntries),
 		flights:   newFlightGroup(),
-		jobs:      newJobRegistry(cfg.JobHistory),
+		jobs:      newJobRegistry(cfg.JobHistory, cfg.JobTTL),
 		metrics:   newMetrics(),
+		drainEst:  &drainEstimator{},
 		explore:   core.Explore,
 		transient: experiments.Fig10Run,
 	}
@@ -123,6 +132,53 @@ func New(cfg Config) *Server {
 		s.panics.Add(1)
 	})
 	return s
+}
+
+// drainEstimator keeps an exponentially weighted moving average of
+// completed job wall times. The 429/503 Retry-After hint is derived from
+// it: how long until a queue slot plausibly frees up at the observed
+// drain rate, rather than a constant guess.
+type drainEstimator struct {
+	mu     sync.Mutex
+	avg    time.Duration
+	seeded bool
+}
+
+func (d *drainEstimator) note(dt time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.seeded {
+		d.avg, d.seeded = dt, true
+		return
+	}
+	// α = 1/4: a few recent jobs dominate, one outlier does not.
+	d.avg += (dt - d.avg) / 4
+}
+
+func (d *drainEstimator) estimate() (time.Duration, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.avg, d.seeded
+}
+
+// retryAfterSeconds converts the observed drain rate into the Retry-After
+// hint: the queue must drain depth+1 jobs across the worker pool before a
+// shed request can land. Bounded to [1, 60] — never so low a client
+// hot-loops, never so high one transient spike parks clients for minutes.
+func (s *Server) retryAfterSeconds() int {
+	avg, ok := s.drainEst.estimate()
+	if !ok {
+		return 1
+	}
+	wait := avg * time.Duration(s.pool.Depth()+1) / time.Duration(s.cfg.Workers)
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
 }
 
 // jobFunc computes one response. cacheable=false keeps partial or failed
@@ -149,6 +205,8 @@ func (s *Server) execute(endpoint, hash string, timeout time.Duration, fn jobFun
 	s.inflight.Add(1)
 	submitted := s.pool.TrySubmit(func() {
 		defer s.inflight.Done()
+		start := time.Now()
+		defer func() { s.drainEst.note(time.Since(start)) }()
 		ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 		defer cancel()
 		var (

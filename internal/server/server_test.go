@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -205,8 +206,11 @@ func TestFullQueueSheds429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("job 3: status %d (%s), want 429", resp.StatusCode, body)
 	}
-	if ra := resp.Header.Get("Retry-After"); ra == "" {
-		t.Error("429 carried no Retry-After header")
+	// The hint is derived from the observed drain rate but always lands in
+	// the sane [1, 60]s window — at least 1s so clients never hot-loop.
+	raSecs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || raSecs < 1 || raSecs > 60 {
+		t.Errorf("429 Retry-After %q, want an integer in [1, 60]", resp.Header.Get("Retry-After"))
 	}
 	var eresp ErrorResponse
 	if err := json.Unmarshal(body, &eresp); err != nil || eresp.RetryAfterS <= 0 {

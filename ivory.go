@@ -68,6 +68,10 @@ type (
 	ExploreStats = core.Stats
 	// ExploreKindStats is one converter family's accept/reject tally.
 	ExploreKindStats = core.KindStats
+	// SearchStrategy selects how Explore walks the configuration lattice:
+	// the exhaustive reference sweep, or the adaptive bound-and-halve mode
+	// that skips dominated candidates without sizing them (Spec.Search).
+	SearchStrategy = core.SearchStrategy
 	// PanicError wraps a panic that escaped an exploration job; it is
 	// re-raised on the caller's goroutine tagged with the job index.
 	PanicError = parallel.PanicError
@@ -82,6 +86,9 @@ const (
 	KindSC   = core.KindSC
 	KindBuck = core.KindBuck
 	KindLDO  = core.KindLDO
+
+	SearchExhaustive = core.SearchExhaustive
+	SearchAdaptive   = core.SearchAdaptive
 )
 
 // Explore runs the design optimizer over the spec.
@@ -93,6 +100,10 @@ func ParseObjective(s string) (Objective, error) { return core.ParseObjective(s)
 
 // ParseKind maps "SC"/"buck"/"LDO" (case-insensitive) to a Kind.
 func ParseKind(s string) (Kind, error) { return core.ParseKind(s) }
+
+// ParseSearch maps "exhaustive"/"adaptive" (and the aliases "full" and
+// "pruned"; "" selects exhaustive) to a SearchStrategy.
+func ParseSearch(s string) (SearchStrategy, error) { return core.ParseSearch(s) }
 
 // Serving: the DTO schema and server core behind cmd/ivoryd. The same
 // types back `ivory explore -json`, so CLI output and service responses

@@ -52,10 +52,36 @@ curl -fsS -X POST "$base/v1/explore" \
     -d '{"spec":{"node":"45nm","vin_v":1.8,"vout_v":0.9,"imax_a":1,"area_mm2":2},"top":3}' \
     | grep -q '"spec_hash"'
 
+echo "== probe /v1/explore/stream"
+# An adaptive exploration streamed as SSE. The stream must end with a
+# well-formed terminal: exactly one "event: result" whose data line carries
+# the spec hash — a missing or malformed terminal event fails the smoke.
+stream=$(curl -fsS -N -X POST "$base/v1/explore/stream" \
+    -H 'Content-Type: application/json' \
+    -d '{"spec":{"node":"45nm","vin_v":1.8,"vout_v":0.9,"imax_a":1,"area_mm2":2,"search":"adaptive"}}')
+results=$(echo "$stream" | grep -c '^event: result') || true
+if [ "$results" -ne 1 ]; then
+    echo "stream carried $results terminal result events, want exactly 1:" >&2
+    echo "$stream" | head -n 20 >&2
+    exit 1
+fi
+echo "$stream" | grep -A1 '^event: result' | grep -q '^data: {.*"spec_hash".*}$' || {
+    echo "terminal result event is malformed:" >&2
+    echo "$stream" | tail -n 5 >&2
+    exit 1
+}
+echo "$stream" | grep -q '^event: best' || {
+    echo "stream emitted no best-so-far events:" >&2
+    echo "$stream" | head -n 20 >&2
+    exit 1
+}
+
 echo "== probe /metrics"
 metrics=$(curl -fsS "$base/metrics")
 echo "$metrics" | grep -q '^ivoryd_queue_depth'
 echo "$metrics" | grep -q 'ivoryd_requests_total{endpoint="explore",code="200"} 1'
+# The adaptive stream above pruned candidates; the counter must be scrapeable.
+echo "$metrics" | grep -q 'ivoryd_candidates_pruned_total{strategy="bound"}'
 
 echo "== SIGTERM drain"
 kill -TERM "$pid"
