@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-full bench-profile benchdiff benchgate experiments examples serve smoke clean
+.PHONY: all build test vet lint race bench bench-full bench-profile benchdiff benchgate experiments examples serve smoke smoke-cluster clean
 
 all: build vet lint test
 
@@ -25,14 +25,20 @@ test:
 race:
 	$(GO) test -race ./internal/...
 
-# Benchmark smoke run over the root harness (Explore serial/parallel,
-# PlaceIVRs, per-figure regeneration, MNA kernel Transient/AC sweeps) —
-# one iteration each, machine-readable output in BENCH_explore.json — plus
-# a focused pass over the transient case-study engine (Fig 10/11/13, grid
-# scaling) and the simulation kernels in BENCH_transient.json.
+# Benchmark smoke run over the root harness (Explore serial/parallel/
+# cluster, PlaceIVRs, per-figure regeneration, MNA kernel Transient/AC
+# sweeps) — one iteration each — plus a focused pass over the transient
+# case-study engine (Fig 10/11/13, grid scaling) and the simulation
+# kernels. The raw `go test -json` streams are condensed through
+# `ivory-benchdiff -compact` so the committed BENCH_*.json files hold one
+# row per benchmark instead of thousands of wrapper events.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -json . | tee BENCH_explore.json
-	$(GO) test -run '^$$' -bench 'Fig10|Fig11|Fig13|GridScale|Transient|AC' -benchtime=1x -benchmem -json . | tee BENCH_transient.json
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem -json . > BENCH_explore.raw
+	$(GO) run ./cmd/ivory-benchdiff -compact BENCH_explore.raw > BENCH_explore.json && rm BENCH_explore.raw
+	cat BENCH_explore.json
+	$(GO) test -run '^$$' -bench 'Fig10|Fig11|Fig13|GridScale|Transient|AC' -benchtime=1x -benchmem -json . > BENCH_transient.raw
+	$(GO) run ./cmd/ivory-benchdiff -compact BENCH_transient.raw > BENCH_transient.json && rm BENCH_transient.raw
+	cat BENCH_transient.json
 
 # Old-vs-new comparison of the shared benchmarks in two `make bench` outputs
 # (override OLD/NEW to compare arbitrary runs). Informational: the target
@@ -80,6 +86,13 @@ serve:
 # the API over HTTP, SIGTERM it and assert a clean drain.
 smoke:
 	./scripts/ivoryd_smoke.sh
+
+# End-to-end cluster smoke: boot two worker replicas and a coordinator,
+# explore through the cluster, assert the body is byte-identical to a
+# single-node run of the same spec, scrape /v1/cluster and the shard
+# metrics, then SIGTERM everything and assert clean drains.
+smoke-cluster:
+	./scripts/cluster_smoke.sh
 
 # Regenerate every paper table/figure plus the extension studies, with
 # plot-ready CSVs under results/data/.

@@ -1,0 +1,79 @@
+package ivory
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ivory/internal/server"
+)
+
+// Cluster-mode throughput harness: the same full exhaustive sweep pushed
+// through one worker replica directly versus a coordinator fanning it out
+// to two replicas. Each replica is pinned to one pool slot and one engine
+// worker, so the pair represents exactly 2x the compute of the single-node
+// baseline and the expected speedup on a machine with >=2 cores is ~2x
+// (shard HTTP overhead is a few ms against a tens-of-ms sweep). On a
+// single-core host the replicas time-share and the ratio collapses to ~1x
+// — compare the two rows on the hardware the fleet actually runs on.
+const clusterBenchBody = `{"spec":{"node":"45nm","vin_v":1.8,"vout_v":0.9,"imax_a":1,"area_mm2":2},"top":1}`
+
+// bootBenchWorker starts one single-slot worker replica with caching off,
+// so every iteration recomputes instead of replaying the LRU.
+func bootBenchWorker(b *testing.B) *httptest.Server {
+	s := server.New(server.Config{Workers: 1, QueueDepth: 64, EngineWorkers: 1, CacheEntries: -1, Role: "worker"})
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return ts
+}
+
+func exploreOverHTTP(b *testing.B, url string) {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/explore", "application/json", strings.NewReader(clusterBenchBody))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("explore: %d", resp.StatusCode)
+	}
+}
+
+func BenchmarkExploreClusterSingleNode(b *testing.B) {
+	ts := bootBenchWorker(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exploreOverHTTP(b, ts.URL)
+	}
+}
+
+func BenchmarkExploreCluster2Workers(b *testing.B) {
+	w1, w2 := bootBenchWorker(b), bootBenchWorker(b)
+	coord := server.New(server.Config{
+		Workers: 1, QueueDepth: 64, EngineWorkers: 1, CacheEntries: -1,
+		Cluster: &server.ClusterConfig{Workers: []string{w1.URL, w2.URL}},
+	})
+	ts := httptest.NewServer(coord.Handler())
+	b.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = coord.Shutdown(ctx)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exploreOverHTTP(b, ts.URL)
+	}
+}

@@ -74,4 +74,18 @@ BenchmarkFresh-8	10	1 ns/op
 	if code != 0 {
 		t.Fatalf("mild regression + churn: gate exited %d, want 0\n%s", code, out)
 	}
+
+	// Format transition: a compact committed baseline diffed against a raw
+	// text run must gate identically — green on mild noise, red past 15x.
+	compactOld := write("old_compact.json", compactHeader+"\n"+
+		`{"name":"BenchmarkExplore","ns_per_op":100,"bytes_per_op":64,"allocs_per_op":2}`+"\n"+
+		`{"name":"BenchmarkPlace","ns_per_op":200}`+"\n")
+	code, out = run(compactOld, green)
+	if code != 0 {
+		t.Fatalf("compact baseline vs raw run: gate exited %d, want 0\n%s", code, out)
+	}
+	code, out = run(compactOld, red)
+	if code != 1 {
+		t.Fatalf("compact baseline vs 20x regression: gate exited %d, want 1\n%s", code, out)
+	}
 }

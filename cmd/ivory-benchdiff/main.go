@@ -6,14 +6,21 @@
 // Usage:
 //
 //	ivory-benchdiff [-fail-over ratio] old.json new.json
+//	ivory-benchdiff -compact bench.json > compact.json
 //
-// Inputs are `go test -json` streams (the BENCH_*.json files `make bench`
-// writes); plain `go test -bench` text output is accepted too. The exit code
-// is 0 regardless of deltas unless -fail-over is set: then any shared
-// benchmark whose ns/op grew by more than the given factor fails the run.
-// Added and removed benchmarks never gate -fail-over — a missing baseline is
-// not a regression. Exit 2 is reserved for unusable inputs (unreadable
-// files, or no benchmarks in either file).
+// Inputs are accepted in three formats, auto-detected per file: the compact
+// one-row-per-benchmark NDJSON `make bench` commits (header line
+// {"format":"ivory-bench-compact/v1"}), raw `go test -json` event streams,
+// and plain `go test -bench` text output. -compact converts any of them to
+// the compact form on stdout — `make bench` pipes the raw stream through it
+// so the committed BENCH_*.json files hold one row per benchmark instead of
+// thousands of wrapper events.
+//
+// In diff mode the exit code is 0 regardless of deltas unless -fail-over is
+// set: then any shared benchmark whose ns/op grew by more than the given
+// factor fails the run. Added and removed benchmarks never gate -fail-over —
+// a missing baseline is not a regression. Exit 2 is reserved for unusable
+// inputs (unreadable files, or no benchmarks in either file).
 package main
 
 import (
@@ -36,13 +43,35 @@ type result struct {
 	hasMem      bool
 }
 
-// event is the subset of the test2json record benchdiff needs.
-type event struct {
-	Action string `json:"Action"`
-	Output string `json:"Output"`
+// compactHeader is the first line of the compact format; the version
+// suffix leaves room to evolve the row schema without breaking detection.
+const compactHeader = `{"format":"ivory-bench-compact/v1"}`
+
+// compactRow is one benchmark in the compact committed format. The memory
+// columns are pointers so time-only benchmarks round-trip without growing
+// fabricated zero measurements.
+type compactRow struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
-// parseFile reads a go test -json stream (or raw bench text) and returns
+// jsonLine is the union of the JSON shapes a line can take: a test2json
+// event (Action/Output) or a compact row (name/ns_per_op). Format tags the
+// compact header line, which carries no data.
+type jsonLine struct {
+	Action      string   `json:"Action"`
+	Output      string   `json:"Output"`
+	Format      string   `json:"format"`
+	Name        string   `json:"name"`
+	NsPerOp     *float64 `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// parseFile reads a bench result file — compact NDJSON, go test -json
+// stream, or raw bench text, auto-detected line by line — and returns
 // benchmark name -> result.
 func parseFile(path string) (map[string]result, error) {
 	f, err := os.Open(path)
@@ -50,19 +79,31 @@ func parseFile(path string) (map[string]result, error) {
 		return nil, err
 	}
 	defer func() { _ = f.Close() }() // read-only; nothing to report
-	// Reassemble the output stream first: test2json splits one benchmark's
-	// result line across multiple Output events (the name+tab and the
-	// measurements arrive separately).
+	out := map[string]result{}
+	// Reassemble the test2json output stream as we go: test2json splits one
+	// benchmark's result line across multiple Output events (the name+tab
+	// and the measurements arrive separately). Compact rows carry complete
+	// measurements per line and are recorded directly.
 	var text strings.Builder
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		if strings.HasPrefix(line, "{") {
-			var ev event
-			if err := json.Unmarshal([]byte(line), &ev); err == nil {
-				if ev.Action == "output" {
-					text.WriteString(ev.Output)
+			var jl jsonLine
+			if err := json.Unmarshal([]byte(line), &jl); err == nil {
+				switch {
+				case jl.Name != "" && jl.NsPerOp != nil:
+					r := result{NsPerOp: *jl.NsPerOp}
+					if jl.BytesPerOp != nil {
+						r.BytesPerOp, r.hasMem = *jl.BytesPerOp, true
+					}
+					if jl.AllocsPerOp != nil {
+						r.AllocsPerOp, r.hasMem = *jl.AllocsPerOp, true
+					}
+					out[jl.Name] = r
+				case jl.Action == "output":
+					text.WriteString(jl.Output)
 				}
 				continue
 			}
@@ -73,7 +114,6 @@ func parseFile(path string) (map[string]result, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	out := map[string]result{}
 	for _, line := range strings.Split(text.String(), "\n") {
 		name, r, ok := parseBenchLine(line)
 		if ok {
@@ -81,6 +121,35 @@ func parseFile(path string) (map[string]result, error) {
 		}
 	}
 	return out, nil
+}
+
+// writeCompact renders the result set in the compact committed format:
+// the header line, then one sorted row per benchmark.
+func writeCompact(w io.Writer, res map[string]result) error {
+	if _, err := fmt.Fprintln(w, compactHeader); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(res))
+	for name := range res {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := res[name]
+		row := compactRow{Name: name, NsPerOp: r.NsPerOp}
+		if r.hasMem {
+			b, a := r.BytesPerOp, r.AllocsPerOp
+			row.BytesPerOp, row.AllocsPerOp = &b, &a
+		}
+		data, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", data); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseBenchLine parses "BenchmarkName-8  1  123 ns/op  45 B/op  6 allocs/op"
@@ -192,7 +261,28 @@ func runDiff(failOver float64, oldRes, newRes map[string]result, out, errw io.Wr
 
 func main() {
 	failOver := flag.Float64("fail-over", 0, "exit nonzero when any shared benchmark's ns/op grew by more than this factor (0 disables)")
+	compact := flag.Bool("compact", false, "convert one input file (any accepted format) to compact NDJSON on stdout")
 	flag.Parse()
+	if *compact {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: ivory-benchdiff -compact bench.json > compact.json")
+			os.Exit(2)
+		}
+		res, err := parseFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivory-benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		if len(res) == 0 {
+			fmt.Fprintf(os.Stderr, "ivory-benchdiff: no benchmarks in %s\n", flag.Arg(0))
+			os.Exit(2)
+		}
+		if err := writeCompact(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "ivory-benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: ivory-benchdiff [-fail-over ratio] old.json new.json")
 		os.Exit(2)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -25,6 +27,74 @@ func TestParseBenchLine(t *testing.T) {
 	if _, r, ok := parseBenchLine("BenchmarkX-4 100 50 ns/op"); !ok || r.hasMem {
 		t.Errorf("time-only line: ok=%v r=%+v", ok, r)
 	}
+}
+
+// TestCompactRoundTrip: writing the compact format and parsing it back
+// must reproduce the result set exactly, including the has-memory
+// distinction for time-only benchmarks.
+func TestCompactRoundTrip(t *testing.T) {
+	in := map[string]result{
+		"BenchmarkWithMem": {NsPerOp: 123456, BytesPerOp: 2048, AllocsPerOp: 17, hasMem: true},
+		"BenchmarkTime":    {NsPerOp: 50},
+	}
+	var buf strings.Builder
+	if err := writeCompact(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.HasPrefix(text, compactHeader+"\n") {
+		t.Fatalf("missing format header:\n%s", text)
+	}
+	if n := strings.Count(text, "\n"); n != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", n, text)
+	}
+
+	p := writeTemp(t, "compact.json", text)
+	got, err := parseFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("round-trip lost rows: %d of %d", len(got), len(in))
+	}
+	for name, want := range in {
+		if got[name] != want {
+			t.Errorf("%s round-tripped to %+v, want %+v", name, got[name], want)
+		}
+	}
+}
+
+// TestParseFileAutoDetect: one diff may mix a compact baseline with a raw
+// test2json (or plain text) run; every format must parse to the same rows.
+func TestParseFileAutoDetect(t *testing.T) {
+	raw := writeTemp(t, "raw.json",
+		`{"Action":"start","Package":"ivory"}
+{"Action":"output","Package":"ivory","Output":"BenchmarkExplore-8   \t"}
+{"Action":"output","Package":"ivory","Output":"10\t100 ns/op\t64 B/op\t2 allocs/op\n"}
+{"Action":"pass","Package":"ivory"}
+`)
+	plain := writeTemp(t, "plain.txt", "BenchmarkExplore-8\t10\t100 ns/op\t64 B/op\t2 allocs/op\n")
+	compact := writeTemp(t, "compact.json",
+		compactHeader+"\n"+`{"name":"BenchmarkExplore","ns_per_op":100,"bytes_per_op":64,"allocs_per_op":2}`+"\n")
+	want := result{NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 2, hasMem: true}
+	for _, p := range []string{raw, plain, compact} {
+		got, err := parseFile(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(got) != 1 || got["BenchmarkExplore"] != want {
+			t.Errorf("%s parsed to %+v, want {BenchmarkExplore: %+v}", p, got, want)
+		}
+	}
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 func row(out, name string) string {

@@ -7,16 +7,30 @@
 //
 //	ivoryd [-addr :7077] [-workers 2] [-engine-workers 0] [-queue 16]
 //	       [-cache 128] [-timeout 60s] [-drain-timeout 30s] [-job-history 256]
-//	       [-job-ttl 15m]
+//	       [-job-ttl 15m] [-role single|worker|coordinator]
+//	       [-cluster-workers http://w1,http://w2] [-health-interval 2s]
+//	       [-shard-timeout 30s] [-shard-retries 2]
 //
 // Endpoints:
 //
 //	POST /v1/explore    design-space exploration (async with "async": true)
 //	POST /v1/explore/stream  the same exploration as live SSE telemetry
 //	POST /v1/transient  workload-driven transient noise sweep
+//	POST /v1/shard/explore   internal shard API (cluster workers)
+//	GET  /v1/cluster    cluster role; on a coordinator, worker health and
+//	                    shard latency/retry telemetry
 //	GET  /v1/jobs/{id}  poll an async job
 //	GET  /healthz       200 ok | 503 draining
 //	GET  /metrics       Prometheus text exposition
+//
+// Cluster mode: start replicas with -role=worker, then a coordinator with
+// -role=coordinator -cluster-workers=http://w1:7077,http://w2:7077. The
+// coordinator partitions each exploration's enumerated design space into
+// contiguous index ranges, fans them out to the workers, and merges the
+// outcomes deterministically — the ranked result is bit-identical to a
+// single-node run. Lost shards are retried on other replicas; when retries
+// exhaust, the response carries the completed slices with
+// "incomplete": true.
 //
 // On SIGTERM/SIGINT the daemon stops admission (healthz flips to
 // draining), drains in-flight jobs within -drain-timeout — cancelling
@@ -32,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,7 +63,41 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight jobs on shutdown")
 	jobHistory := flag.Int("job-history", 0, "async job records retained (0 = default: 256)")
 	jobTTL := flag.Duration("job-ttl", 0, "retention window for finished async job records; polling past it returns 404 (0 = default: 15m, negative disables)")
+	role := flag.String("role", "", "cluster role: single (default), worker, or coordinator")
+	clusterWorkers := flag.String("cluster-workers", "", "comma-separated worker base URLs (coordinator mode)")
+	healthInterval := flag.Duration("health-interval", 0, "worker health-check cadence (0 = default: 2s)")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-shard attempt deadline (0 = default: 30s)")
+	shardRetries := flag.Int("shard-retries", 0, "shard reassignments before returning a partial result (0 = default: 2, negative disables)")
 	flag.Parse()
+
+	switch *role {
+	case "", "single", "worker", "coordinator":
+	default:
+		fmt.Fprintf(os.Stderr, "ivoryd: unknown -role %q (want single|worker|coordinator)\n", *role)
+		os.Exit(2)
+	}
+	var cluster *server.ClusterConfig
+	if *clusterWorkers != "" {
+		var urls []string
+		for _, u := range strings.Split(*clusterWorkers, ",") {
+			if u = strings.TrimSpace(strings.TrimSuffix(u, "/")); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			fmt.Fprintln(os.Stderr, "ivoryd: -cluster-workers has no usable URLs")
+			os.Exit(2)
+		}
+		cluster = &server.ClusterConfig{
+			Workers:        urls,
+			HealthInterval: *healthInterval,
+			ShardTimeout:   *shardTimeout,
+			MaxRetries:     *shardRetries,
+		}
+	} else if *role == "coordinator" {
+		fmt.Fprintln(os.Stderr, "ivoryd: -role=coordinator requires -cluster-workers")
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
@@ -58,6 +107,8 @@ func main() {
 		RequestTimeout: *timeout,
 		JobHistory:     *jobHistory,
 		JobTTL:         *jobTTL,
+		Role:           *role,
+		Cluster:        cluster,
 	})
 
 	l, err := net.Listen("tcp", *addr)

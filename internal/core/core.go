@@ -22,7 +22,6 @@ import (
 	"ivory/internal/buck"
 	"ivory/internal/ivr"
 	"ivory/internal/ldo"
-	"ivory/internal/parallel"
 	"ivory/internal/sc"
 	"ivory/internal/tech"
 	"ivory/internal/topology"
@@ -268,13 +267,6 @@ type shard struct {
 	rejected   int
 }
 
-// job evaluates one pre-validated configuration slice into its shard; kind
-// attributes its outcomes in the run telemetry.
-type job struct {
-	kind Kind
-	run  func(*shard)
-}
-
 // Explore runs the design optimization module over the full space: the
 // candidate configurations (kind x topology x cap kind x cap share x
 // allocation policy x phase count) are enumerated into a flat work list,
@@ -290,6 +282,20 @@ type job struct {
 // error. A panic inside an evaluation job is re-raised on the caller's
 // goroutine as a *parallel.PanicError carrying the job index.
 func Explore(spec Spec) (*Result, error) {
+	return ExploreWith(spec, nil)
+}
+
+// ExploreWith is Explore with the evaluation step pluggable: every batch of
+// enumerated configurations is handed to eval instead of the in-process
+// pool, so a serving layer can fan the same deterministic work list out to
+// remote replicas (see internal/server's cluster mode). A nil eval selects
+// the local pool — ExploreWith(spec, nil) is exactly Explore(spec).
+//
+// The merge contract is unchanged: outcomes are merged positionally in
+// enumeration/stage order before any ranking or pruning decision, so the
+// ranked result is bit-identical for any evaluator that returns the same
+// per-ref outcomes — local, clustered, or mixed.
+func ExploreWith(spec Spec, eval Evaluator) (*Result, error) {
 	if err := spec.defaults(); err != nil {
 		return nil, err
 	}
@@ -297,13 +303,17 @@ func Explore(spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ec := newEvalContext(spec, node)
+	if eval == nil {
+		eval = ec.localEvaluator(spec.Workers)
+	}
 	res := &Result{Spec: spec}
 	tr := newTracker(spec)
 	var ferr error
 	if spec.Search == SearchAdaptive {
-		ferr = exploreAdaptive(spec, node, res, tr)
+		ferr = exploreAdaptive(spec, ec, res, tr, eval)
 	} else {
-		ferr = exploreExhaustive(spec, node, res, tr)
+		ferr = exploreExhaustive(spec, ec, res, tr, eval)
 	}
 	res.Stats = tr.finalize(ferr != nil)
 	if ferr != nil {
@@ -325,39 +335,27 @@ func Explore(spec Spec) (*Result, error) {
 
 // exploreExhaustive sweeps the full configuration lattice — the paper's
 // flow and the reference path the adaptive strategy is tested against.
-func exploreExhaustive(spec Spec, node *tech.Node, res *Result, tr *tracker) error {
+func exploreExhaustive(spec Spec, ec *evalContext, res *Result, tr *tracker, eval Evaluator) error {
 	// Enumeration resolves the cheap shared context (topology analyses,
 	// device lookups) up front; failures there reject exactly as the
 	// nested serial loops did. The per-configuration sizing and evaluation
-	// — the dominant cost — lands in the job list.
-	var pre shard
-	var jobs []job
-	for _, k := range spec.Kinds {
-		before := pre.rejected
-		switch k {
-		case KindSC:
-			jobs = append(jobs, enumerateSC(spec, node, &pre)...)
-		case KindBuck:
-			jobs = append(jobs, enumerateBuck(spec, node, &pre)...)
-		case KindLDO:
-			jobs = append(jobs, enumerateLDO(spec, node)...)
-		}
+	// — the dominant cost — lands in the ref list.
+	refs, pre := ec.enumerate()
+	for k := Kind(0); int(k) < numKinds; k++ {
 		// Enumeration-time rejections belong to the family being expanded.
-		tr.enumRejected(k, pre.rejected-before)
+		tr.enumRejected(k, pre[k])
+		res.Rejected += pre[k]
 	}
-	tr.addJobs(len(jobs))
-	shards := make([]shard, len(jobs))
-	ferr := parallel.ForContext(spec.Context, len(jobs), spec.Workers, func(i int) {
-		jobs[i].run(&shards[i])
-		tr.jobDone(jobs[i].kind, &shards[i])
+	tr.addJobs(len(refs))
+	outs, ferr := eval(specContext(spec), refs, func(i int, out *RefOutcome) {
+		tr.jobDone(refs[i].Kind, out.Candidates, out.Rejected)
 	})
-	// Merge whatever completed: on an uncancelled run that is every shard;
-	// on a cancelled one, the never-started shards are simply empty, so
+	// Merge whatever completed: on an uncancelled run that is every ref;
+	// on a cancelled one, the never-started slots are simply empty, so
 	// the merge still walks enumeration order with no gaps or tears.
-	res.Rejected = pre.rejected
-	for i := range shards {
-		res.Candidates = append(res.Candidates, shards[i].candidates...)
-		res.Rejected += shards[i].rejected
+	for i := range outs {
+		res.Candidates = append(res.Candidates, outs[i].Candidates...)
+		res.Rejected += outs[i].Rejected
 	}
 	return ferr
 }
@@ -436,35 +434,6 @@ func geomspace(lo, hi float64, n int) []float64 {
 	return out
 }
 
-// enumerateSC expands the switched-capacitor slice of the space into one
-// job per (topology, capacitor kind, capacitor share); each job sizes and
-// evaluates both conductance-allocation policies. Topology analyses are
-// resolved here — memoized package-wide in topology — so workers share one
-// Analysis per ratio instead of re-deriving it.
-func enumerateSC(spec Spec, node *tech.Node, pre *shard) []job {
-	usable := 0.80 * spec.AreaMax // controller/routing reserve
-	var jobs []job
-	for _, top := range scRatios(spec) {
-		an, err := top.Analyze()
-		if err != nil {
-			pre.rejected++
-			continue
-		}
-		for _, capKind := range scCapKinds {
-			capOpt, err := node.Capacitor(capKind)
-			if err != nil {
-				continue
-			}
-			for _, capShare := range scCapShares {
-				jobs = append(jobs, job{kind: KindSC, run: func(out *shard) {
-					evalSC(out, spec, node, an, capKind, capOpt, capShare, usable)
-				}})
-			}
-		}
-	}
-	return jobs
-}
-
 // evalSC sizes and evaluates the two allocation-policy candidates of one
 // (topology, cap kind, cap share) cell. Both conductance-allocation
 // policies are candidates: the cost-aware split wins when gate drive
@@ -540,37 +509,6 @@ func evalSCPolicy(out *shard, spec Spec, node *tech.Node, an *topology.Analysis,
 	})
 }
 
-// enumerateBuck expands the buck slice into one job per (phase count,
-// switching frequency) plan.
-func enumerateBuck(spec Spec, node *tech.Node, pre *shard) []job {
-	ind, err := node.Inductor(tech.IntegratedThinFilm)
-	if err != nil {
-		pre.rejected++
-		return nil
-	}
-	outCapKind := tech.DeepTrench
-	if _, err := node.Capacitor(outCapKind); err != nil {
-		outCapKind = tech.MOSCap
-	}
-	// Phase count from inductor saturation with 25% headroom.
-	minPhases := int(math.Ceil(spec.IMax / (ind.IMax * 0.8)))
-	var jobs []job
-	for _, phases := range []int{minPhases, minPhases * 2} {
-		if phases < 1 || phases > 64 {
-			continue
-		}
-		for _, fsw := range buckFreqs {
-			if fsw > spec.FSwMax {
-				continue
-			}
-			jobs = append(jobs, job{kind: KindBuck, run: func(out *shard) {
-				evalBuck(out, spec, node, ind, outCapKind, phases, fsw)
-			}})
-		}
-	}
-	return jobs
-}
-
 // evalBuck sizes and evaluates one buck (phase count, frequency) plan.
 func evalBuck(out *shard, spec Spec, node *tech.Node, ind tech.InductorOption,
 	outCapKind tech.CapacitorKind, phases int, fsw float64) {
@@ -624,19 +562,6 @@ func evalBuck(out *shard, spec Spec, node *tech.Node, ind tech.InductorOption,
 		Metrics: m,
 		Buck:    bd,
 	})
-}
-
-// enumerateLDO expands the linear-regulator slice into one job per sample
-// frequency.
-func enumerateLDO(spec Spec, node *tech.Node) []job {
-	var jobs []job
-	for _, fs := range ldoSampleFreqs {
-		if fs > spec.FSwMax {
-			continue
-		}
-		jobs = append(jobs, job{kind: KindLDO, run: func(out *shard) { evalLDO(out, spec, node, fs) }})
-	}
-	return jobs
 }
 
 // evalLDO sizes and evaluates one digital-LDO sample-frequency plan.

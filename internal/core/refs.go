@@ -1,0 +1,346 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"ivory/internal/parallel"
+	"ivory/internal/tech"
+	"ivory/internal/topology"
+)
+
+// Distributed evaluation plumbing. The design space of a spec is addressed
+// by ConfigRefs — small, serializable coordinates into the canonical
+// enumeration lattices (scCapShares, buckFreqs, ldoSampleFreqs) — so the
+// expensive sizing/evaluation step can run anywhere: on the local worker
+// pool (the classic path), or on remote ivoryd replicas that receive a
+// spec plus a ref range over HTTP and return the outcomes (see
+// internal/server's cluster mode).
+//
+// Determinism is the contract that makes this safe: enumeration order is a
+// pure function of the normalized spec, every ref evaluates to the same
+// candidates on any machine running the same build, and results are merged
+// positionally — so a clustered run is bit-identical to a single-node one.
+
+// PolBoth marks an SC ref that evaluates both conductance-allocation
+// policies in one unit — the exhaustive sweep's job granularity. The
+// adaptive search addresses policies individually with PolCostAware /
+// PolUniform.
+const (
+	PolBoth      = -1
+	PolCostAware = 0
+	PolUniform   = 1
+)
+
+// ConfigRef addresses one evaluation unit of a spec's design space. The
+// integer fields index the canonical per-kind axes:
+//
+//	KindSC:   Topo = scRatios(spec) index, Cap = scCapKinds index,
+//	          Axis = scCapShares index, Pol = PolBoth|PolCostAware|PolUniform
+//	KindBuck: Topo = phase-plan index (minPhases, minPhases*2 after the
+//	          1..64 filter), Axis = buckFreqs index
+//	KindLDO:  Axis = ldoSampleFreqs index
+//
+// A ref is only meaningful against the normalized spec it was enumerated
+// from; the serving layer guards this with the canonical spec hash.
+type ConfigRef struct {
+	Kind Kind `json:"kind"`
+	Topo int  `json:"topo,omitempty"`
+	Cap  int  `json:"cap,omitempty"`
+	Axis int  `json:"axis,omitempty"`
+	Pol  int  `json:"pol,omitempty"`
+}
+
+// RefOutcome is the evaluation outcome of one ConfigRef: the accepted
+// candidates (possibly several — an SC PolBoth unit sizes two policies)
+// and the count of configurations rejected during sizing/feasibility.
+type RefOutcome struct {
+	Candidates []Candidate
+	Rejected   int
+}
+
+// Evaluator evaluates one deterministic batch of refs and returns the
+// outcomes positionally aligned with refs. Implementations must be
+// content-deterministic — outcome i depends only on refs[i] and the spec,
+// never on scheduling — and should call done(i) as each ref completes so
+// run telemetry (Spec.Progress / Spec.OnImproved) stays live; done is safe
+// for concurrent invocation. On cancellation or partial failure the
+// evaluator returns the outcomes it has (unfinished slots zero-valued)
+// together with the error; the engine merges the completed prefix exactly
+// like a cancelled local run.
+type Evaluator func(ctx context.Context, refs []ConfigRef, done func(i int, out *RefOutcome)) ([]RefOutcome, error)
+
+// evalContext resolves the cheap shared context of a spec's design space —
+// topology analyses, device options, phase plans — once, so refs can be
+// enumerated and evaluated without re-deriving it per configuration.
+type evalContext struct {
+	spec   Spec
+	node   *tech.Node
+	usable float64 // SC area after the controller/routing reserve
+
+	// SC axes (resolved only when KindSC is explored).
+	topos   []*topology.Analysis // scRatios order; nil = analysis failed (pre-rejected)
+	capOpts []tech.CapacitorOption
+	capOK   []bool
+
+	// Buck axes.
+	indOK      bool
+	ind        tech.InductorOption
+	outCapKind tech.CapacitorKind
+	phasePlans []int
+}
+
+// newEvalContext builds the shared context for an already-defaulted spec.
+func newEvalContext(spec Spec, node *tech.Node) *evalContext {
+	ec := &evalContext{spec: spec, node: node, usable: 0.80 * spec.AreaMax}
+	for _, k := range spec.Kinds {
+		switch k {
+		case KindSC:
+			for _, top := range scRatios(spec) {
+				an, err := top.Analyze()
+				if err != nil {
+					ec.topos = append(ec.topos, nil)
+					continue
+				}
+				ec.topos = append(ec.topos, an)
+			}
+			ec.capOpts = make([]tech.CapacitorOption, len(scCapKinds))
+			ec.capOK = make([]bool, len(scCapKinds))
+			for i, kind := range scCapKinds {
+				opt, err := node.Capacitor(kind)
+				if err != nil {
+					continue
+				}
+				ec.capOpts[i], ec.capOK[i] = opt, true
+			}
+		case KindBuck:
+			ind, err := node.Inductor(tech.IntegratedThinFilm)
+			if err != nil {
+				continue
+			}
+			ec.indOK, ec.ind = true, ind
+			ec.outCapKind = tech.DeepTrench
+			if _, err := node.Capacitor(ec.outCapKind); err != nil {
+				ec.outCapKind = tech.MOSCap
+			}
+			minPhases := int(math.Ceil(spec.IMax / (ind.IMax * 0.8)))
+			for _, phases := range []int{minPhases, minPhases * 2} {
+				if phases >= 1 && phases <= 64 {
+					ec.phasePlans = append(ec.phasePlans, phases)
+				}
+			}
+		}
+	}
+	return ec
+}
+
+// enumerate expands the full exhaustive job list in canonical order —
+// spec.Kinds order, then the nested per-kind axes exactly as the serial
+// loops of the original Explore walked them — and returns the
+// enumeration-time rejection counts (failed topology analyses, missing
+// devices) per kind. The ref list is a pure function of the normalized
+// spec: every replica of the same build enumerates the identical list.
+func (ec *evalContext) enumerate() (refs []ConfigRef, pre [numKinds]int) {
+	for _, k := range ec.spec.Kinds {
+		switch k {
+		case KindSC:
+			for ti, an := range ec.topos {
+				if an == nil {
+					pre[KindSC]++
+					continue
+				}
+				for ci := range scCapKinds {
+					if !ec.capOK[ci] {
+						continue
+					}
+					for ai := range scCapShares {
+						refs = append(refs, ConfigRef{Kind: KindSC, Topo: ti, Cap: ci, Axis: ai, Pol: PolBoth})
+					}
+				}
+			}
+		case KindBuck:
+			if !ec.indOK {
+				pre[KindBuck]++
+				continue
+			}
+			for pi := range ec.phasePlans {
+				for fi, fsw := range buckFreqs {
+					if fsw > ec.spec.FSwMax {
+						continue
+					}
+					refs = append(refs, ConfigRef{Kind: KindBuck, Topo: pi, Axis: fi})
+				}
+			}
+		case KindLDO:
+			for fi, fs := range ldoSampleFreqs {
+				if fs > ec.spec.FSwMax {
+					continue
+				}
+				refs = append(refs, ConfigRef{Kind: KindLDO, Axis: fi})
+			}
+		}
+	}
+	return refs, pre
+}
+
+// validate bounds-checks a ref against the resolved axes; the serving
+// layer calls it on wire-decoded refs before evaluation.
+func (ec *evalContext) validate(ref ConfigRef) error {
+	switch ref.Kind {
+	case KindSC:
+		if ref.Topo < 0 || ref.Topo >= len(ec.topos) || ec.topos[ref.Topo] == nil {
+			return fmt.Errorf("core: SC ref topology %d out of range", ref.Topo)
+		}
+		if ref.Cap < 0 || ref.Cap >= len(scCapKinds) || !ec.capOK[ref.Cap] {
+			return fmt.Errorf("core: SC ref capacitor kind %d unavailable", ref.Cap)
+		}
+		if ref.Axis < 0 || ref.Axis >= len(scCapShares) {
+			return fmt.Errorf("core: SC ref share index %d out of range", ref.Axis)
+		}
+		if ref.Pol < PolBoth || ref.Pol > PolUniform {
+			return fmt.Errorf("core: SC ref policy %d out of range", ref.Pol)
+		}
+	case KindBuck:
+		if !ec.indOK || ref.Topo < 0 || ref.Topo >= len(ec.phasePlans) {
+			return fmt.Errorf("core: buck ref phase plan %d out of range", ref.Topo)
+		}
+		if ref.Axis < 0 || ref.Axis >= len(buckFreqs) {
+			return fmt.Errorf("core: buck ref frequency index %d out of range", ref.Axis)
+		}
+	case KindLDO:
+		if ref.Axis < 0 || ref.Axis >= len(ldoSampleFreqs) {
+			return fmt.Errorf("core: LDO ref frequency index %d out of range", ref.Axis)
+		}
+	default:
+		return fmt.Errorf("core: ref has unknown kind %d", int(ref.Kind))
+	}
+	return nil
+}
+
+// eval sizes and evaluates one ref into the shard. The ref must have been
+// produced by enumerate or passed validate.
+func (ec *evalContext) eval(ref ConfigRef, out *shard) {
+	switch ref.Kind {
+	case KindSC:
+		an := ec.topos[ref.Topo]
+		capKind, capOpt := scCapKinds[ref.Cap], ec.capOpts[ref.Cap]
+		share := scCapShares[ref.Axis]
+		if ref.Pol == PolBoth {
+			evalSC(out, ec.spec, ec.node, an, capKind, capOpt, share, ec.usable)
+			return
+		}
+		evalSCPolicy(out, ec.spec, ec.node, an, capKind, capOpt, share, ec.usable, ref.Pol == PolUniform)
+	case KindBuck:
+		evalBuck(out, ec.spec, ec.node, ec.ind, ec.outCapKind, ec.phasePlans[ref.Topo], buckFreqs[ref.Axis])
+	case KindLDO:
+		evalLDO(out, ec.spec, ec.node, ldoSampleFreqs[ref.Axis])
+	}
+}
+
+// localEvaluator runs batches on the in-process worker pool — the classic
+// execution path, now expressed through the same seam cluster dispatch
+// uses. Scheduling is parallel.ForContext's, so outcomes land in per-index
+// slots and the merge stays bit-identical to serial for any worker count.
+func (ec *evalContext) localEvaluator(workers int) Evaluator {
+	return func(ctx context.Context, refs []ConfigRef, done func(int, *RefOutcome)) ([]RefOutcome, error) {
+		outs := make([]RefOutcome, len(refs))
+		err := parallel.ForContext(ctx, len(refs), workers, func(i int) {
+			var sh shard
+			ec.eval(refs[i], &sh)
+			outs[i] = RefOutcome{Candidates: sh.candidates, Rejected: sh.rejected}
+			done(i, &outs[i])
+		})
+		return outs, err
+	}
+}
+
+// RangeResult is the outcome of evaluating one slice of a spec's design
+// space — the shard unit of cluster mode.
+type RangeResult struct {
+	// Outcomes aligns positionally with the evaluated refs.
+	Outcomes []RefOutcome
+	// Total is the full canonical enumeration length for the spec. A
+	// coordinator compares it against its own count to detect version skew
+	// before trusting the outcomes.
+	Total int
+	// PreRejected counts enumeration-time rejections for the whole spec
+	// (not the slice). Coordinators count these exactly once from their
+	// own enumeration; the field is informational on the worker side.
+	PreRejected int
+	// Stats carries the slice's evaluation telemetry (per-kind counts,
+	// wall time). Enumeration-time rejections are excluded.
+	Stats Stats
+}
+
+// ExploreRange evaluates the half-open slice [lo, hi) of the spec's
+// canonical enumeration on the local pool — the entry point an ivoryd
+// worker replica serves. Run control matches Explore: Spec.Context cancels
+// mid-slice and the error is returned with whatever outcomes completed.
+func ExploreRange(spec Spec, lo, hi int) (*RangeResult, error) {
+	if err := spec.defaults(); err != nil {
+		return nil, err
+	}
+	node, err := tech.Lookup(spec.NodeName)
+	if err != nil {
+		return nil, err
+	}
+	ec := newEvalContext(spec, node)
+	refs, pre := ec.enumerate()
+	if lo < 0 || hi < lo || hi > len(refs) {
+		return nil, fmt.Errorf("core: range [%d,%d) out of bounds for %d enumerated configurations", lo, hi, len(refs))
+	}
+	rr, err := evalRefsLocal(spec, ec, refs[lo:hi])
+	rr.Total = len(refs)
+	for _, n := range pre {
+		rr.PreRejected += n
+	}
+	return rr, err
+}
+
+// EvalRefs evaluates an explicit ref list on the local pool — the entry
+// point a worker serves for adaptive-search stage dispatch, where the ref
+// set is decided by the coordinator's branch-and-bound state rather than a
+// contiguous range. Refs are validated against the spec before any
+// evaluation runs.
+func EvalRefs(spec Spec, refs []ConfigRef) (*RangeResult, error) {
+	if err := spec.defaults(); err != nil {
+		return nil, err
+	}
+	node, err := tech.Lookup(spec.NodeName)
+	if err != nil {
+		return nil, err
+	}
+	ec := newEvalContext(spec, node)
+	for i, ref := range refs {
+		if err := ec.validate(ref); err != nil {
+			return nil, fmt.Errorf("core: ref %d invalid: %w", i, err)
+		}
+	}
+	allRefs, pre := ec.enumerate()
+	rr, err := evalRefsLocal(spec, ec, refs)
+	rr.Total = len(allRefs)
+	for _, n := range pre {
+		rr.PreRejected += n
+	}
+	return rr, err
+}
+
+// evalRefsLocal fans refs over the local pool with full run telemetry.
+func evalRefsLocal(spec Spec, ec *evalContext, refs []ConfigRef) (*RangeResult, error) {
+	tr := newTracker(spec)
+	tr.addJobs(len(refs))
+	eval := ec.localEvaluator(spec.Workers)
+	outs, err := eval(specContext(spec), refs, func(i int, out *RefOutcome) {
+		tr.jobDone(refs[i].Kind, out.Candidates, out.Rejected)
+	})
+	return &RangeResult{Outcomes: outs, Stats: tr.finalize(err != nil)}, err
+}
+
+// specContext returns the spec's run-control context, Background when unset.
+func specContext(spec Spec) context.Context {
+	if spec.Context != nil {
+		return spec.Context
+	}
+	return context.Background()
+}

@@ -2,12 +2,9 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
-	"ivory/internal/parallel"
-	"ivory/internal/tech"
 	"ivory/internal/topology"
 )
 
@@ -151,48 +148,41 @@ func (w *winnerBoard) canBeat(obj Objective, floor, bound float64) bool {
 	}
 }
 
-// searchTask is one configuration evaluation dispatched by a stage.
-type searchTask struct {
-	kind Kind
-	run  func(*shard)
-}
-
-// runStage fans one deterministic batch of tasks over the worker pool,
-// merges the shards in task order into the result, and feeds the winner
+// runStage fans one deterministic batch of refs through the evaluator,
+// merges the outcomes in ref order into the result, and feeds the winner
 // board. Pruning decisions made after runStage returns therefore depend
-// only on the stage's task list, never on scheduling.
-func runStage(spec Spec, tr *tracker, res *Result, win *winnerBoard, tasks []searchTask) ([]shard, error) {
-	if len(tasks) == 0 {
+// only on the stage's ref list, never on scheduling — and the evaluator
+// may be the local pool or a cluster dispatch, indistinguishably.
+func runStage(spec Spec, tr *tracker, res *Result, win *winnerBoard, eval Evaluator, refs []ConfigRef) ([]RefOutcome, error) {
+	if len(refs) == 0 {
 		return nil, nil
 	}
-	tr.addJobs(len(tasks))
-	shards := make([]shard, len(tasks))
-	ferr := parallel.ForContext(spec.Context, len(tasks), spec.Workers, func(i int) {
-		tasks[i].run(&shards[i])
-		tr.jobDone(tasks[i].kind, &shards[i])
+	tr.addJobs(len(refs))
+	outs, ferr := eval(specContext(spec), refs, func(i int, out *RefOutcome) {
+		tr.jobDone(refs[i].Kind, out.Candidates, out.Rejected)
 	})
-	for i := range shards {
-		res.Candidates = append(res.Candidates, shards[i].candidates...)
-		res.Rejected += shards[i].rejected
-		for _, c := range shards[i].candidates {
+	for i := range outs {
+		res.Candidates = append(res.Candidates, outs[i].Candidates...)
+		res.Rejected += outs[i].Rejected
+		for _, c := range outs[i].Candidates {
 			win.observe(c)
 		}
 	}
-	return shards, ferr
+	return outs, ferr
 }
 
 // exploreAdaptive is the staged, pruned counterpart of exploreExhaustive.
-func exploreAdaptive(spec Spec, node *tech.Node, res *Result, tr *tracker) error {
+func exploreAdaptive(spec Spec, ec *evalContext, res *Result, tr *tracker, eval Evaluator) error {
 	win := &winnerBoard{k: winnersK, less: rankLess(spec.Objective, spec.EfficiencyFloor)}
 	for _, k := range spec.Kinds {
 		var err error
 		switch k {
 		case KindSC:
-			err = adaptiveSC(spec, node, res, tr, win)
+			err = adaptiveSC(spec, ec, res, tr, win, eval)
 		case KindBuck:
-			err = adaptiveBuck(spec, node, res, tr, win)
+			err = adaptiveBuck(spec, ec, res, tr, win, eval)
 		case KindLDO:
-			err = adaptiveLDO(spec, node, res, tr, win)
+			err = adaptiveLDO(spec, ec, res, tr, win, eval)
 		}
 		if err != nil {
 			return err
@@ -210,7 +200,9 @@ func scEfficiencyBound(spec Spec, an *topology.Analysis) float64 {
 }
 
 // axisCell tracks one lattice cell (a fixed choice of every axis except
-// the halved one) through probe and refinement stages.
+// the halved one) through probe and refinement stages. Cells address their
+// fixed axes by canonical ConfigRef indices, so stage refs can be shipped
+// to any evaluator.
 type axisCell struct {
 	key     string       // deterministic tie-break among cells
 	done    map[int]bool // axis indices already evaluated
@@ -218,12 +210,11 @@ type axisCell struct {
 	bestIdx int          // axis index that produced best
 
 	// SC cell context (unused by buck cells).
-	an      *topology.Analysis
+	topoIdx int // scRatios index
+	capIdx  int // scCapKinds index
 	bound   float64
-	capKind tech.CapacitorKind
-	capOpt  tech.CapacitorOption
 	// Buck cell context.
-	phases int
+	planIdx int // phase-plan index
 }
 
 // absorb folds the accepted candidates of one (cell, axis index)
@@ -291,8 +282,7 @@ func (c *axisCell) nextProbes(n int) []int {
 // cell (winner-holding cells are always kept), and refined by bisection —
 // all before the next group's bound gate runs, so later groups face the
 // strongest possible incumbents and whole topologies are pruned unsized.
-func adaptiveSC(spec Spec, node *tech.Node, res *Result, tr *tracker, win *winnerBoard) error {
-	usable := 0.80 * spec.AreaMax // controller/routing reserve
+func adaptiveSC(spec Spec, ec *evalContext, res *Result, tr *tracker, win *winnerBoard, eval Evaluator) error {
 	shares := scCapShares
 	type group struct {
 		bound float64
@@ -300,26 +290,23 @@ func adaptiveSC(spec Spec, node *tech.Node, res *Result, tr *tracker, win *winne
 		cells []*axisCell
 	}
 	var groups []group
-	for _, top := range scRatios(spec) {
-		an, err := top.Analyze()
-		if err != nil {
+	for ti, an := range ec.topos {
+		if an == nil {
 			res.Rejected++
 			tr.enumRejected(KindSC, 1)
 			continue
 		}
 		g := group{bound: scEfficiencyBound(spec, an), name: an.Name}
-		for _, capKind := range scCapKinds {
-			capOpt, err := node.Capacitor(capKind)
-			if err != nil {
+		for ci := range scCapKinds {
+			if !ec.capOK[ci] {
 				continue
 			}
 			g.cells = append(g.cells, &axisCell{
-				key:     fmt.Sprintf("%s|%v", an.Name, capKind),
+				key:     fmt.Sprintf("%s|%v", an.Name, scCapKinds[ci]),
 				done:    map[int]bool{},
-				an:      an,
+				topoIdx: ti,
+				capIdx:  ci,
 				bound:   g.bound,
-				capKind: capKind,
-				capOpt:  capOpt,
 			})
 		}
 		if len(g.cells) > 0 {
@@ -338,29 +325,27 @@ func adaptiveSC(spec Spec, node *tech.Node, res *Result, tr *tracker, win *winne
 		return groups[i].name < groups[j].name
 	})
 
-	scTasks := func(cells []*axisCell, picks [][]int) ([]searchTask, []*axisCell, []int) {
-		var tasks []searchTask
+	scRefs := func(cells []*axisCell, picks [][]int) ([]ConfigRef, []*axisCell, []int) {
+		var refs []ConfigRef
 		var owner []*axisCell
 		var ownerIdx []int
 		for ci, c := range cells {
 			for _, idx := range picks[ci] {
 				c.done[idx] = true
-				cc, share := c, shares[idx]
-				for _, uniform := range []bool{false, true} {
-					u := uniform
-					tasks = append(tasks, searchTask{kind: KindSC, run: func(out *shard) {
-						evalSCPolicy(out, spec, node, cc.an, cc.capKind, cc.capOpt, share, usable, u)
-					}})
+				// Policy order matches the exhaustive unit: cost-aware
+				// first, then uniform.
+				for _, pol := range []int{PolCostAware, PolUniform} {
+					refs = append(refs, ConfigRef{Kind: KindSC, Topo: c.topoIdx, Cap: c.capIdx, Axis: idx, Pol: pol})
 					owner = append(owner, c)
 					ownerIdx = append(ownerIdx, idx)
 				}
 			}
 		}
-		return tasks, owner, ownerIdx
+		return refs, owner, ownerIdx
 	}
-	absorbStage := func(shards []shard, owner []*axisCell, ownerIdx []int) {
-		for i := range shards {
-			owner[i].absorb(ownerIdx[i], shards[i].candidates, win.less)
+	absorbStage := func(outs []RefOutcome, owner []*axisCell, ownerIdx []int) {
+		for i := range outs {
+			owner[i].absorb(ownerIdx[i], outs[i].Candidates, win.less)
 		}
 	}
 
@@ -380,9 +365,9 @@ func adaptiveSC(spec Spec, node *tech.Node, res *Result, tr *tracker, win *winne
 		for i := range picks {
 			picks[i] = probeIdx
 		}
-		tasks, owner, ownerIdx := scTasks(g.cells, picks)
-		shards, err := runStage(spec, tr, res, win, tasks)
-		absorbStage(shards, owner, ownerIdx)
+		refs, owner, ownerIdx := scRefs(g.cells, picks)
+		outs, err := runStage(spec, tr, res, win, eval, refs)
+		absorbStage(outs, owner, ownerIdx)
 		if err != nil {
 			return err
 		}
@@ -427,9 +412,9 @@ func adaptiveSC(spec Spec, node *tech.Node, res *Result, tr *tracker, win *winne
 			if total == 0 {
 				break
 			}
-			tasks, owner, ownerIdx := scTasks(kept, picks)
-			shards, err := runStage(spec, tr, res, win, tasks)
-			absorbStage(shards, owner, ownerIdx)
+			refs, owner, ownerIdx := scRefs(kept, picks)
+			outs, err := runStage(spec, tr, res, win, eval, refs)
+			absorbStage(outs, owner, ownerIdx)
 			if err != nil {
 				return err
 			}
@@ -446,54 +431,45 @@ func adaptiveSC(spec Spec, node *tech.Node, res *Result, tr *tracker, win *winne
 // and bisection refinement along the frequency axis. There is no useful
 // analytic efficiency ceiling for a buck (ideally lossless at any ratio),
 // so both cells are refined — the savings come from the frequency axis.
-func adaptiveBuck(spec Spec, node *tech.Node, res *Result, tr *tracker, win *winnerBoard) error {
-	ind, err := node.Inductor(tech.IntegratedThinFilm)
-	if err != nil {
+func adaptiveBuck(spec Spec, ec *evalContext, res *Result, tr *tracker, win *winnerBoard, eval Evaluator) error {
+	if !ec.indOK {
 		res.Rejected++
 		tr.enumRejected(KindBuck, 1)
 		return nil
 	}
-	outCapKind := tech.DeepTrench
-	if _, err := node.Capacitor(outCapKind); err != nil {
-		outCapKind = tech.MOSCap
-	}
-	var freqs []float64
-	for _, f := range buckFreqs {
+	// The cell's axis runs over the FSwMax-admissible frequencies; freqIdx
+	// maps each local axis position back to the canonical buckFreqs index a
+	// ConfigRef carries.
+	var freqIdx []int
+	for fi, f := range buckFreqs {
 		if f <= spec.FSwMax {
-			freqs = append(freqs, f)
+			freqIdx = append(freqIdx, fi)
 		}
 	}
-	if len(freqs) == 0 {
+	if len(freqIdx) == 0 {
 		return nil
 	}
-	minPhases := int(math.Ceil(spec.IMax / (ind.IMax * 0.8)))
 	var cells []*axisCell
-	for _, phases := range []int{minPhases, minPhases * 2} {
-		if phases < 1 || phases > 64 {
-			continue
-		}
+	for pi, phases := range ec.phasePlans {
 		cells = append(cells, &axisCell{
-			key:    fmt.Sprintf("buck|x%d", phases),
-			done:   map[int]bool{},
-			phases: phases,
+			key:     fmt.Sprintf("buck|x%d", phases),
+			done:    map[int]bool{},
+			planIdx: pi,
 		})
 	}
-	buckTasks := func(picks [][]int) ([]searchTask, []*axisCell, []int) {
-		var tasks []searchTask
+	buckRefs := func(picks [][]int) ([]ConfigRef, []*axisCell, []int) {
+		var refs []ConfigRef
 		var owner []*axisCell
 		var ownerIdx []int
 		for ci, c := range cells {
 			for _, idx := range picks[ci] {
 				c.done[idx] = true
-				cc, fsw := c, freqs[idx]
-				tasks = append(tasks, searchTask{kind: KindBuck, run: func(out *shard) {
-					evalBuck(out, spec, node, ind, outCapKind, cc.phases, fsw)
-				}})
+				refs = append(refs, ConfigRef{Kind: KindBuck, Topo: c.planIdx, Axis: freqIdx[idx]})
 				owner = append(owner, c)
 				ownerIdx = append(ownerIdx, idx)
 			}
 		}
-		return tasks, owner, ownerIdx
+		return refs, owner, ownerIdx
 	}
 	// Probe the low and middle frequencies, then bisect each cell to
 	// convergence.
@@ -503,12 +479,12 @@ func adaptiveBuck(spec Spec, node *tech.Node, res *Result, tr *tracker, win *win
 		total := 0
 		for i, c := range cells {
 			if first {
-				picks[i] = []int{0, len(freqs) / 2}
+				picks[i] = []int{0, len(freqIdx) / 2}
 				if picks[i][1] == 0 {
 					picks[i] = picks[i][:1]
 				}
 			} else {
-				picks[i] = c.nextProbes(len(freqs))
+				picks[i] = c.nextProbes(len(freqIdx))
 			}
 			total += len(picks[i])
 		}
@@ -516,17 +492,17 @@ func adaptiveBuck(spec Spec, node *tech.Node, res *Result, tr *tracker, win *win
 		if total == 0 {
 			break
 		}
-		tasks, owner, ownerIdx := buckTasks(picks)
-		shards, err := runStage(spec, tr, res, win, tasks)
-		for i := range shards {
-			owner[i].absorb(ownerIdx[i], shards[i].candidates, win.less)
+		refs, owner, ownerIdx := buckRefs(picks)
+		outs, err := runStage(spec, tr, res, win, eval, refs)
+		for i := range outs {
+			owner[i].absorb(ownerIdx[i], outs[i].Candidates, win.less)
 		}
 		if err != nil {
 			return err
 		}
 	}
 	for _, c := range cells {
-		tr.prunedHalving(len(freqs) - len(c.done))
+		tr.prunedHalving(len(freqIdx) - len(c.done))
 	}
 	return nil
 }
@@ -534,17 +510,14 @@ func adaptiveBuck(spec Spec, node *tech.Node, res *Result, tr *tracker, win *win
 // adaptiveLDO evaluates the full LDO lattice: at five sample frequencies
 // it is smaller than a single SC probe stage, and evaluating it keeps the
 // per-family best exact.
-func adaptiveLDO(spec Spec, node *tech.Node, res *Result, tr *tracker, win *winnerBoard) error {
-	var tasks []searchTask
-	for _, fs := range ldoSampleFreqs {
+func adaptiveLDO(spec Spec, _ *evalContext, res *Result, tr *tracker, win *winnerBoard, eval Evaluator) error {
+	var refs []ConfigRef
+	for fi, fs := range ldoSampleFreqs {
 		if fs > spec.FSwMax {
 			continue
 		}
-		f := fs
-		tasks = append(tasks, searchTask{kind: KindLDO, run: func(out *shard) {
-			evalLDO(out, spec, node, f)
-		}})
+		refs = append(refs, ConfigRef{Kind: KindLDO, Axis: fi})
 	}
-	_, err := runStage(spec, tr, res, win, tasks)
+	_, err := runStage(spec, tr, res, win, eval, refs)
 	return err
 }

@@ -208,17 +208,18 @@ func (t *tracker) prunedHalving(n int) {
 	t.mu.Unlock()
 }
 
-// jobDone records one completed job's outcome, folds its candidates into
-// the best-so-far and the Pareto front, and fires the callbacks.
-func (t *tracker) jobDone(kind Kind, sh *shard) {
+// jobDone records one completed evaluation unit's outcome, folds its
+// candidates into the best-so-far and the Pareto front, and fires the
+// callbacks.
+func (t *tracker) jobDone(kind Kind, cands []Candidate, rejected int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats.Done++
-	t.stats.PerKind[kind].Accepted += len(sh.candidates)
-	t.stats.PerKind[kind].Rejected += sh.rejected
+	t.stats.PerKind[kind].Accepted += len(cands)
+	t.stats.PerKind[kind].Rejected += rejected
 	improved := false
-	for i := range sh.candidates {
-		c := sh.candidates[i]
+	for i := range cands {
+		c := cands[i]
 		t.front.Insert(c)
 		if t.best == nil || t.less(c, *t.best) {
 			cc := c

@@ -7,6 +7,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -280,6 +281,11 @@ type ExploreResponse struct {
 	// Cancelled marks a partial result: the run was stopped (deadline or
 	// drain) and Candidates covers only the completed prefix of the space.
 	Cancelled bool `json:"cancelled,omitempty"`
+	// Incomplete marks a cluster partial: shard retries were exhausted and
+	// Candidates covers only the slices that completed. Cancelled is also
+	// set — an incomplete result IS a stopped run — so clients that only
+	// check cancelled keep the PR 3 partial-result contract.
+	Incomplete bool `json:"incomplete,omitempty"`
 	// Error carries the interruption cause on a partial result.
 	Error string `json:"error,omitempty"`
 }
@@ -308,6 +314,7 @@ func ExploreResponseFromResult(res *core.Result, runErr error) *ExploreResponse 
 	if runErr != nil {
 		r.Error = runErr.Error()
 		r.Cancelled = true
+		r.Incomplete = errors.Is(runErr, ErrIncomplete)
 	}
 	return r
 }
@@ -459,6 +466,31 @@ func TransientResponseFromResult(hash string, res *experiments.Fig10Result) *Tra
 		out.DroopByConfigMV[cfg] = v * 1e3
 	}
 	return out
+}
+
+// ClusterWorkerDTO is one replica's health and shard telemetry in the
+// GET /v1/cluster body.
+type ClusterWorkerDTO struct {
+	URL              string `json:"url"`
+	Healthy          bool   `json:"healthy"`
+	ConsecutiveFails int    `json:"consecutive_fails,omitempty"`
+	LastError        string `json:"last_error,omitempty"`
+	// ShardsOK/ShardsErr/Retries count this worker's completed shard
+	// attempts, failed attempts, and reassignments dispatched to it.
+	ShardsOK  int64 `json:"shards_ok"`
+	ShardsErr int64 `json:"shards_err"`
+	Retries   int64 `json:"retries"`
+	// Latency quantiles over the last shard attempts (ms).
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP90MS float64 `json:"latency_p90_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+}
+
+// ClusterResponse is the body of GET /v1/cluster. Workers is empty on
+// non-coordinator replicas.
+type ClusterResponse struct {
+	Role    string             `json:"role"`
+	Workers []ClusterWorkerDTO `json:"workers,omitempty"`
 }
 
 // ErrorResponse is the uniform error body for non-2xx statuses.

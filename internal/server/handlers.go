@@ -21,6 +21,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
 	mux.HandleFunc("POST /v1/explore/stream", s.instrument("explore_stream", s.handleExploreStream))
 	mux.HandleFunc("POST /v1/transient", s.instrument("transient", s.handleTransient))
+	mux.HandleFunc("POST /v1/shard/explore", s.instrument("shard", s.handleShardExplore))
+	mux.HandleFunc("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -173,8 +175,9 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		sp.Workers = engineWorkers
 		res, xerr := s.explore(sp)
 		if xerr != nil {
-			if res != nil && len(res.Candidates) > 0 && isCancel(xerr) {
-				// Ranked partial (deadline/drain): deliver, don't cache.
+			if res != nil && len(res.Candidates) > 0 && (isCancel(xerr) || errors.Is(xerr, ErrIncomplete)) {
+				// Ranked partial (deadline/drain/lost shards): deliver,
+				// don't cache.
 				s.metrics.notePruned(res.Stats.PrunedBound, res.Stats.PrunedHalving)
 				return ExploreResponseFromResult(res, xerr), xerr, false
 			}
@@ -268,6 +271,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, body)
+}
+
+// handleCluster reports the replica's cluster role and, on a coordinator,
+// per-worker health, shard latency quantiles, and retry counters.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	resp := ClusterResponse{Role: s.cfg.Role}
+	if s.cluster != nil {
+		resp.Workers = s.cluster.snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -95,6 +95,10 @@ type metrics struct {
 	// candidatesPruned counts configurations the adaptive search skipped
 	// without sizing, by pruning strategy (bound | halving).
 	candidatesPruned *counterVec
+	// shardsDispatched/shardRetries count coordinator shard attempts and
+	// reassignments, by worker URL.
+	shardsDispatched *counterVec
+	shardRetries     *counterVec
 }
 
 func newMetrics() *metrics {
@@ -104,6 +108,8 @@ func newMetrics() *metrics {
 		jobsSubmitted:    newCounterVec(),
 		jobsRejected:     newCounterVec(),
 		candidatesPruned: newCounterVec(),
+		shardsDispatched: newCounterVec(),
+		shardRetries:     newCounterVec(),
 	}
 }
 
@@ -126,6 +132,12 @@ func endpointCode(endpoint string, code int) string {
 
 func endpointLabel(endpoint string) string { return `endpoint="` + endpoint + `"` }
 
+// workerLabel renders the label for the per-worker shard counters. URLs
+// contain no quotes or backslashes in practice; escape defensively anyway.
+func workerLabel(url string) string {
+	return `worker="` + strings.NewReplacer(`\`, `\\`, `"`, `\"`).Replace(url) + `"`
+}
+
 // gaugeSnapshot carries the point-in-time values the server computes at
 // scrape time.
 type gaugeSnapshot struct {
@@ -138,6 +150,9 @@ type gaugeSnapshot struct {
 	cacheMisses  int64
 	coalesced    int64
 	jobsTracked  int
+	// workerHealth maps worker URL -> passing health checks; nil on
+	// non-coordinator replicas (the gauge family is then omitted).
+	workerHealth map[string]bool
 }
 
 func writeCounterFamily(w io.Writer, name, help string, snap map[string]int64) {
@@ -173,6 +188,8 @@ func (m *metrics) write(w io.Writer, g gaugeSnapshot) {
 	writeCounterFamily(w, "ivoryd_jobs_submitted_total", "Jobs admitted to the compute queue by endpoint.", m.jobsSubmitted.snapshot())
 	writeCounterFamily(w, "ivoryd_jobs_rejected_total", "Jobs shed with 429 because the queue was full, by endpoint.", m.jobsRejected.snapshot())
 	writeCounterFamily(w, "ivoryd_candidates_pruned_total", "Configurations the adaptive search skipped without sizing, by strategy.", m.candidatesPruned.snapshot())
+	writeCounterFamily(w, "ivoryd_shards_dispatched_total", "Shard attempts dispatched to cluster workers, by worker URL.", m.shardsDispatched.snapshot())
+	writeCounterFamily(w, "ivoryd_shard_retries_total", "Shard reassignments after a failed attempt, by worker URL.", m.shardRetries.snapshot())
 
 	// Histogram family.
 	name := "ivoryd_request_duration_seconds"
@@ -204,6 +221,23 @@ func (m *metrics) write(w io.Writer, g gaugeSnapshot) {
 	}
 	writeGauge(w, "ivoryd_draining", "1 while the server is draining for shutdown.", draining)
 	writeGauge(w, "ivoryd_async_jobs_tracked", "Async job records currently retained.", float64(g.jobsTracked))
+
+	if g.workerHealth != nil {
+		name := "ivoryd_worker_healthy"
+		_, _ = fmt.Fprintf(w, "# HELP %s 1 while the worker passes health checks, by worker URL.\n# TYPE %s gauge\n", name, name)
+		urls := make([]string, 0, len(g.workerHealth))
+		for u := range g.workerHealth {
+			urls = append(urls, u)
+		}
+		sort.Strings(urls)
+		for _, u := range urls {
+			v := 0
+			if g.workerHealth[u] {
+				v = 1
+			}
+			_, _ = fmt.Fprintf(w, "%s{%s} %d\n", name, workerLabel(u), v)
+		}
+	}
 
 	writeGauge(w, "ivoryd_result_cache_entries", "Entries in the LRU result cache.", float64(g.cacheEntries))
 	writeCounter(w, "ivoryd_result_cache_hits_total", "Result-cache hits.", g.cacheHits)

@@ -43,6 +43,16 @@ type Config struct {
 	// complete; polling an expired id returns 404. 0 selects 15m; negative
 	// disables TTL expiry (the JobHistory cap still applies).
 	JobTTL time.Duration
+	// Role names this replica's cluster role for /v1/cluster: "single"
+	// (default), "worker" (serves the shard API for a coordinator), or
+	// "coordinator" (implied by a non-nil Cluster). Every role serves the
+	// full route table; the role is reporting, the wiring is Cluster.
+	Role string
+	// Cluster, when non-nil with at least one worker URL, turns this
+	// replica into a coordinator: explorations fan their evaluation batches
+	// out to the worker replicas over the shard API instead of the local
+	// pool, with bit-identical ranked results (see cluster.go).
+	Cluster *ClusterConfig
 }
 
 func (c *Config) defaults() {
@@ -72,6 +82,12 @@ func (c *Config) defaults() {
 	}
 	if c.JobTTL == 0 {
 		c.JobTTL = 15 * time.Minute
+	}
+	if c.Role == "" {
+		c.Role = "single"
+		if c.Cluster != nil && len(c.Cluster.Workers) > 0 {
+			c.Role = "coordinator"
+		}
 	}
 }
 
@@ -106,6 +122,11 @@ type Server struct {
 	httpMu  sync.Mutex
 	httpSrv *http.Server
 
+	// cluster is non-nil on a coordinator; its evaluator replaces the
+	// engine's local pool while everything upstream (cache, singleflight,
+	// queue) stays identical.
+	cluster *Cluster
+
 	// Engine seams: production wiring in New, overridden in tests to pin
 	// queue/coalescing behavior without real compute.
 	explore   func(core.Spec) (*core.Result, error)
@@ -131,6 +152,11 @@ func New(cfg Config) *Server {
 	s.pool = parallel.NewPool(cfg.Workers, cfg.QueueDepth, func(*parallel.PanicError) {
 		s.panics.Add(1)
 	})
+	if cfg.Cluster != nil && len(cfg.Cluster.Workers) > 0 {
+		s.cluster = newCluster(*cfg.Cluster, s.metrics)
+		s.explore = s.clusterExplore
+		s.cluster.start()
+	}
 	return s
 }
 
@@ -282,6 +308,11 @@ func (s *Server) Serve(l net.Listener) error {
 // window closed early, nil on a clean drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.cluster != nil {
+		// Health loops stop immediately; in-flight shard dispatches drain
+		// with their parent jobs below.
+		s.cluster.stop()
+	}
 	drained := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
@@ -318,7 +349,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // gauges assembles the point-in-time snapshot for /metrics.
 func (s *Server) gauges() gaugeSnapshot {
 	hits, misses := s.cache.Stats()
-	return gaugeSnapshot{
+	g := gaugeSnapshot{
 		queueDepth:   s.pool.Depth(),
 		running:      s.pool.Running(),
 		inflight:     s.flights.Inflight(),
@@ -329,4 +360,8 @@ func (s *Server) gauges() gaugeSnapshot {
 		coalesced:    s.flights.Coalesced(),
 		jobsTracked:  s.jobs.len(),
 	}
+	if s.cluster != nil {
+		g.workerHealth = s.cluster.healthGauges()
+	}
+	return g
 }

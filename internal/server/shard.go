@@ -1,0 +1,209 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+
+	"ivory/internal/core"
+	"ivory/internal/ivr"
+)
+
+// The shard wire protocol: a coordinator ships a canonical Spec plus a
+// slice of its enumerated design space to a worker replica, and the worker
+// returns the per-ref evaluation outcomes. Two addressing modes share one
+// request shape:
+//
+//   - range mode (Refs empty): the slice is [Lo, Hi) of the worker's own
+//     canonical enumeration. Total carries the coordinator's enumeration
+//     length so version skew (replicas enumerating different spaces) is a
+//     409, never a silent mis-merge. This is the exhaustive-Explore path.
+//   - ref mode (Refs set): the slice is an explicit ConfigRef list chosen
+//     by the coordinator's adaptive branch-and-bound state; Lo/Hi only
+//     echo the coordinator's positional window.
+//
+// Candidate metrics travel as raw engine values (ivr.Metrics), not the
+// unit-converted display DTOs: Go's float64 JSON round-trip is exact, so
+// the coordinator's ranking, tie-breaking, and pruning decisions are
+// bit-identical to a single-node run. Shards are all-or-nothing — a worker
+// that cannot finish a slice returns an error status and the coordinator
+// retries the whole slice elsewhere — so a merged result never mixes
+// torn shard halves.
+
+// ShardRequest is the body of POST /v1/shard/explore.
+type ShardRequest struct {
+	Spec     SpecDTO `json:"spec"`
+	SpecHash string  `json:"spec_hash"`
+	// Lo/Hi is the half-open slice of the canonical enumeration (range
+	// mode) or the coordinator's positional window (ref mode).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Total is the coordinator's full enumeration length; nonzero values
+	// are cross-checked against the worker's own enumeration.
+	Total int `json:"total,omitempty"`
+	// Refs switches to ref mode when non-empty.
+	Refs []core.ConfigRef `json:"refs,omitempty"`
+	// TimeoutMS caps the worker-side compute deadline (clamped under the
+	// worker's own RequestTimeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// ShardCandidateDTO is one accepted candidate at full engine precision.
+type ShardCandidateDTO struct {
+	Kind    int         `json:"kind"`
+	Label   string      `json:"label"`
+	Metrics ivr.Metrics `json:"metrics"`
+}
+
+// ShardOutcomeDTO is the outcome of one ref of the slice.
+type ShardOutcomeDTO struct {
+	Candidates []ShardCandidateDTO `json:"candidates,omitempty"`
+	Rejected   int                 `json:"rejected,omitempty"`
+}
+
+// ShardResponse is the body of a completed shard evaluation. Outcomes
+// aligns positionally with the requested slice.
+type ShardResponse struct {
+	SpecHash string            `json:"spec_hash"`
+	Lo       int               `json:"lo"`
+	Hi       int               `json:"hi"`
+	Total    int               `json:"total"`
+	Outcomes []ShardOutcomeDTO `json:"outcomes"`
+}
+
+func shardOutcomeDTO(o core.RefOutcome) ShardOutcomeDTO {
+	d := ShardOutcomeDTO{Rejected: o.Rejected}
+	for _, c := range o.Candidates {
+		d.Candidates = append(d.Candidates, ShardCandidateDTO{Kind: int(c.Kind), Label: c.Label, Metrics: c.Metrics})
+	}
+	return d
+}
+
+// toRefOutcome reconstructs the engine outcome. The design pointers
+// (Candidate.SC/Buck/LDO) do not cross the wire; ranking, pruning, and the
+// response DTOs consume only Kind/Label/Metrics, so the merged result is
+// still byte-identical on the wire.
+func (d ShardOutcomeDTO) toRefOutcome() core.RefOutcome {
+	out := core.RefOutcome{Rejected: d.Rejected}
+	for _, c := range d.Candidates {
+		out.Candidates = append(out.Candidates, core.Candidate{Kind: core.Kind(c.Kind), Label: c.Label, Metrics: c.Metrics})
+	}
+	return out
+}
+
+// refsHash distinguishes ref-mode singleflight keys that share a
+// positional window but carry different ref sets.
+func refsHash(refs []core.ConfigRef) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	for _, r := range refs {
+		put(int(r.Kind))
+		put(r.Topo)
+		put(r.Cap)
+		put(r.Axis)
+		put(r.Pol)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// errShardSkew marks a fatal coordinator/worker disagreement (spec hash or
+// enumeration length); retrying on another replica of the same build
+// cannot help, so the coordinator fails the shard immediately.
+var errShardSkew = errors.New("server: shard version skew")
+
+// handleShardExplore serves one shard evaluation on a worker replica. The
+// request passes the same admission path as full explorations — bounded
+// queue with 429/Retry-After, singleflight per (hash, slice) — but its
+// result is never cached: shard fragments must not shadow the full-result
+// cache entry of the same spec hash, and the coordinator retries are
+// cheaper than cache coherence across partial keys.
+func (s *Server) handleShardExplore(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	spec, err := req.Spec.ToSpec()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	norm, err := spec.Normalized()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hash := SpecHash(norm)
+	if req.SpecHash != "" && req.SpecHash != hash {
+		s.writeError(w, http.StatusConflict,
+			fmt.Sprintf("spec hash mismatch: coordinator sent %s, worker computed %s (version skew?)", req.SpecHash, hash))
+		return
+	}
+	key := "shard:" + hash + ":" + strconv.Itoa(req.Lo) + "-" + strconv.Itoa(req.Hi)
+	if len(req.Refs) > 0 {
+		key += ":" + refsHash(req.Refs)
+	}
+	engineWorkers := s.cfg.EngineWorkers
+	fn := func(ctx context.Context) (any, error, bool) {
+		sp := norm
+		sp.Context = ctx
+		sp.Workers = engineWorkers
+		var rr *core.RangeResult
+		var xerr error
+		if len(req.Refs) > 0 {
+			rr, xerr = core.EvalRefs(sp, req.Refs)
+		} else {
+			rr, xerr = core.ExploreRange(sp, req.Lo, req.Hi)
+		}
+		// All-or-nothing: a cancelled or failed slice returns an error
+		// status so the coordinator retries the whole slice; partial shard
+		// outcomes never ship.
+		if xerr != nil {
+			return nil, xerr, false
+		}
+		if req.Total > 0 && rr.Total != req.Total {
+			return nil, fmt.Errorf("%w: coordinator enumerated %d configurations, worker %d", errShardSkew, req.Total, rr.Total), false
+		}
+		resp := &ShardResponse{SpecHash: hash, Lo: req.Lo, Hi: req.Hi, Total: rr.Total}
+		for _, o := range rr.Outcomes {
+			resp.Outcomes = append(resp.Outcomes, shardOutcomeDTO(o))
+		}
+		return resp, nil, false
+	}
+	fl, err := s.execute("shard", key, s.timeoutFor(req.TimeoutMS), fn)
+	if err != nil {
+		s.submitError(w, err)
+		return
+	}
+	select {
+	case <-fl.done:
+	case <-r.Context().Done():
+		s.writeError(w, http.StatusGatewayTimeout, "shard request abandoned while the slice runs")
+		return
+	}
+	val, ferr := fl.wait()
+	if ferr != nil {
+		switch {
+		case errors.Is(ferr, errShardSkew):
+			s.writeError(w, http.StatusConflict, ferr.Error())
+		case isCancel(ferr):
+			// Deadline or drain mid-slice: the coordinator should retry the
+			// whole slice on another replica.
+			s.writeError(w, http.StatusServiceUnavailable, "shard evaluation interrupted: "+ferr.Error())
+		default:
+			// Bad ranges and invalid refs surface here (the engine validates
+			// before evaluating).
+			s.writeError(w, http.StatusBadRequest, ferr.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, val)
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -141,9 +142,9 @@ func (s *Server) submitStream(hash string, timeout time.Duration, norm core.Spec
 				// hash returns this exact body from the cache.
 				s.cache.Put(hash, resp)
 				ev = jsonEvent("result", resp)
-			case res != nil && len(res.Candidates) > 0 && isCancel(err):
-				// Ranked partial (deadline/drain): terminal result with
-				// cancelled=true, not cached.
+			case res != nil && len(res.Candidates) > 0 && (isCancel(err) || errors.Is(err, ErrIncomplete)):
+				// Ranked partial (deadline/drain/lost shards): terminal
+				// result with cancelled=true, not cached.
 				s.metrics.notePruned(res.Stats.PrunedBound, res.Stats.PrunedHalving)
 				ev = jsonEvent("result", ExploreResponseFromResult(res, err))
 			default:
