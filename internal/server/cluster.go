@@ -299,7 +299,10 @@ func (c *Cluster) pickWorker() *workerState {
 	if n == 0 {
 		return nil
 	}
-	start := int(c.rr.Add(1)-1) % n
+	// The modulo runs in uint64 space: converting the cursor to int first
+	// can go negative (32-bit int, or a wrapped counter) and index the ring
+	// with a negative start.
+	start := int((c.rr.Add(1) - 1) % uint64(n))
 	for i := 0; i < n; i++ {
 		w := c.workers[(start+i)%n]
 		w.mu.Lock()
@@ -362,14 +365,35 @@ type retryableShardError struct{ err error }
 func (e *retryableShardError) Error() string { return e.err.Error() }
 func (e *retryableShardError) Unwrap() error { return e.err }
 
+// fatalShardError marks shard failures reassignment cannot fix — 409
+// version skew, 4xx invalid slices: the fleet itself is broken or
+// mismatched, so the exploration fails outright instead of degrading to a
+// benign-looking ErrIncomplete partial.
+type fatalShardError struct{ err error }
+
+func (e *fatalShardError) Error() string { return e.err.Error() }
+func (e *fatalShardError) Unwrap() error { return e.err }
+
+// shardSpec is the per-exploration constant block every shard request
+// carries: the wire spec, its canonical hash, and the engine-precision
+// area budget (see ShardRequest.AreaM2).
+type shardSpec struct {
+	dto    SpecDTO
+	hash   string
+	areaM2 float64
+}
+
 // evaluator returns the core.Evaluator that dispatches each evaluation
 // batch over the cluster. canonical marks the exhaustive path, where the
 // single batch is the full enumeration and slices travel as [lo, hi)
 // index ranges; adaptive stages ship their ref lists explicitly. The
 // returned outcomes slice has zero-valued slots for refs whose shard was
 // lost — exactly the shape a cancelled local run produces — and the error
-// wraps ErrIncomplete when retries were exhausted.
-func (c *Cluster) evaluator(dto SpecDTO, hash string, canonical bool) core.Evaluator {
+// wraps ErrIncomplete when retries were exhausted. Fatal shard failures
+// (version skew, invalid slices) propagate as-is: a broken fleet is a hard
+// error, not a benign incomplete partial.
+func (c *Cluster) evaluator(spec core.Spec, canonical bool) core.Evaluator {
+	ss := shardSpec{dto: SpecDTOFromSpec(spec), hash: SpecHash(spec), areaM2: spec.AreaMax}
 	return func(ctx context.Context, refs []core.ConfigRef, done func(int, *core.RefOutcome)) ([]core.RefOutcome, error) {
 		outs := make([]core.RefOutcome, len(refs))
 		if len(refs) == 0 {
@@ -382,15 +406,20 @@ func (c *Cluster) evaluator(dto SpecDTO, hash string, canonical bool) core.Evalu
 		chunks := splitChunks(len(refs), c.healthyCount()*c.cfg.ShardsPerWorker)
 		var wg sync.WaitGroup
 		var mu sync.Mutex
-		var firstErr error
+		var fatalErr, firstErr error
 		for _, ch := range chunks {
 			wg.Add(1)
 			go func(ch shardChunk) {
 				defer wg.Done()
-				err := c.runShard(ctx, dto, hash, rangeMode, refs, ch, outs, done)
+				err := c.runShard(ctx, ss, rangeMode, refs, ch, outs, done)
 				if err != nil {
+					var fatal *fatalShardError
 					mu.Lock()
-					if firstErr == nil {
+					if errors.As(err, &fatal) {
+						if fatalErr == nil {
+							fatalErr = err
+						}
+					} else if firstErr == nil {
 						firstErr = err
 					}
 					mu.Unlock()
@@ -400,6 +429,9 @@ func (c *Cluster) evaluator(dto SpecDTO, hash string, canonical bool) core.Evalu
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
 			return outs, err
+		}
+		if fatalErr != nil {
+			return outs, fatalErr
 		}
 		if firstErr != nil {
 			return outs, fmt.Errorf("%w: %v", ErrIncomplete, firstErr)
@@ -412,7 +444,7 @@ func (c *Cluster) evaluator(dto SpecDTO, hash string, canonical bool) core.Evalu
 // the whole slice to the next replica, and only a complete response is
 // merged — at most one attempt is in flight per chunk, so a slice can
 // never be merged twice.
-func (c *Cluster) runShard(ctx context.Context, dto SpecDTO, hash string, rangeMode bool,
+func (c *Cluster) runShard(ctx context.Context, ss shardSpec, rangeMode bool,
 	refs []core.ConfigRef, ch shardChunk, outs []core.RefOutcome, done func(int, *core.RefOutcome)) error {
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
@@ -436,7 +468,7 @@ func (c *Cluster) runShard(ctx context.Context, dto SpecDTO, hash string, rangeM
 		}
 		c.metrics.shardsDispatched.inc(workerLabel(w.url))
 		start := time.Now()
-		resp, err := c.postShard(ctx, w, dto, hash, rangeMode, refs, ch)
+		resp, err := c.postShard(ctx, w, ss, rangeMode, refs, ch)
 		w.noteShard(time.Since(start), err == nil)
 		if err == nil {
 			if len(resp.Outcomes) != ch.hi-ch.lo {
@@ -452,7 +484,9 @@ func (c *Cluster) runShard(ctx context.Context, dto SpecDTO, hash string, rangeM
 		}
 		var retryable *retryableShardError
 		if !errors.As(err, &retryable) {
-			return err // version skew / invalid slice: reassignment cannot help
+			// Version skew / invalid slice: reassignment cannot help, and
+			// the exploration must fail hard rather than degrade.
+			return &fatalShardError{err: err}
 		}
 		lastErr = err
 	}
@@ -460,11 +494,12 @@ func (c *Cluster) runShard(ctx context.Context, dto SpecDTO, hash string, rangeM
 }
 
 // postShard runs one shard attempt against one worker.
-func (c *Cluster) postShard(ctx context.Context, w *workerState, dto SpecDTO, hash string,
+func (c *Cluster) postShard(ctx context.Context, w *workerState, ss shardSpec,
 	rangeMode bool, refs []core.ConfigRef, ch shardChunk) (*ShardResponse, error) {
 	req := ShardRequest{
-		Spec:      dto,
-		SpecHash:  hash,
+		Spec:      ss.dto,
+		SpecHash:  ss.hash,
+		AreaM2:    ss.areaM2,
 		Lo:        ch.lo,
 		Hi:        ch.hi,
 		TimeoutMS: int(c.cfg.ShardTimeout / time.Millisecond),
@@ -517,5 +552,5 @@ func (c *Cluster) postShard(ctx context.Context, w *workerState, dto SpecDTO, ha
 // short-circuits before any shard is dispatched.
 func (s *Server) clusterExplore(spec core.Spec) (*core.Result, error) {
 	canonical := spec.Search == core.SearchExhaustive
-	return core.ExploreWith(spec, s.cluster.evaluator(SpecDTOFromSpec(spec), SpecHash(spec), canonical))
+	return core.ExploreWith(spec, s.cluster.evaluator(spec, canonical))
 }

@@ -37,6 +37,13 @@ import (
 type ShardRequest struct {
 	Spec     SpecDTO `json:"spec"`
 	SpecHash string  `json:"spec_hash"`
+	// AreaM2 is the coordinator's area budget at engine precision (m²).
+	// SpecDTO's mm² unit does not round-trip exactly for every float64
+	// (0.05 mm² drifts 1 ULP through ×1e-6, ×1e6, ×1e-6), and the
+	// determinism contract needs coordinator and workers to hash and
+	// evaluate identical bits; a nonzero value overrides the converted
+	// Spec.AreaMM2.
+	AreaM2 float64 `json:"area_m2,omitempty"`
 	// Lo/Hi is the half-open slice of the canonical enumeration (range
 	// mode) or the coordinator's positional window (ref mode).
 	Lo int `json:"lo"`
@@ -135,6 +142,9 @@ func (s *Server) handleShardExplore(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	if req.AreaM2 > 0 {
+		spec.AreaMax = req.AreaM2
 	}
 	norm, err := spec.Normalized()
 	if err != nil {

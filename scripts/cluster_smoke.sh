@@ -62,32 +62,37 @@ boot_daemon "$workdir/coord.log" -addr 127.0.0.1:0 -role coordinator \
 cpid=$pid coord="http://$addr"
 echo "   coordinator on $coord"
 
-spec='{"spec":{"node":"45nm","vin_v":1.8,"vout_v":0.9,"imax_a":1,"area_mm2":2},"top":-1}'
+# Two areas: 2 mm² survives the mm²→m² float64 unit conversion exactly;
+# 0.8 mm² drifts 1 ULP, so it only works if the shard wire carries the
+# coordinator's engine-precision area (ShardRequest.area_m2).
+for area in 2 0.8; do
+    spec='{"spec":{"node":"45nm","vin_v":1.8,"vout_v":0.9,"imax_a":1,"area_mm2":'$area'},"top":-1}'
 
-echo "== explore through the cluster"
-curl -fsS -X POST "$coord/v1/explore" -H 'Content-Type: application/json' \
-    -d "$spec" >"$workdir/cluster.json"
-jq -e '.incomplete != true and .cancelled != true and (.candidates | length) > 0' \
-    "$workdir/cluster.json" >/dev/null || {
-    echo "cluster exploration returned no complete result:" >&2
-    head -c 400 "$workdir/cluster.json" >&2
-    exit 1
-}
+    echo "== explore through the cluster (area_mm2=$area)"
+    curl -fsS -X POST "$coord/v1/explore" -H 'Content-Type: application/json' \
+        -d "$spec" >"$workdir/cluster.json"
+    jq -e '.incomplete != true and .cancelled != true and (.candidates | length) > 0' \
+        "$workdir/cluster.json" >/dev/null || {
+        echo "cluster exploration returned no complete result:" >&2
+        head -c 400 "$workdir/cluster.json" >&2
+        exit 1
+    }
 
-echo "== compare against single-node"
-# Worker 1 serves the same spec directly; everything except the volatile
-# timing stats must be byte-identical after canonical re-serialization.
-curl -fsS -X POST "$w1/v1/explore" -H 'Content-Type: application/json' \
-    -d "$spec" >"$workdir/single.json"
-normalize='del(.stats.wall_ms, .stats.candidates_per_sec, .stats.topo_cache_hits,
-               .stats.topo_cache_misses, .stats.grid_cholesky, .stats.grid_cg)'
-jq -S "$normalize" "$workdir/cluster.json" >"$workdir/cluster.norm.json"
-jq -S "$normalize" "$workdir/single.json" >"$workdir/single.norm.json"
-if ! diff -q "$workdir/cluster.norm.json" "$workdir/single.norm.json" >/dev/null; then
-    echo "cluster result diverged from single-node:" >&2
-    diff "$workdir/cluster.norm.json" "$workdir/single.norm.json" | head -n 20 >&2
-    exit 1
-fi
+    echo "== compare against single-node (area_mm2=$area)"
+    # Worker 1 serves the same spec directly; everything except the volatile
+    # timing stats must be byte-identical after canonical re-serialization.
+    curl -fsS -X POST "$w1/v1/explore" -H 'Content-Type: application/json' \
+        -d "$spec" >"$workdir/single.json"
+    normalize='del(.stats.wall_ms, .stats.candidates_per_sec, .stats.topo_cache_hits,
+                   .stats.topo_cache_misses, .stats.grid_cholesky, .stats.grid_cg)'
+    jq -S "$normalize" "$workdir/cluster.json" >"$workdir/cluster.norm.json"
+    jq -S "$normalize" "$workdir/single.json" >"$workdir/single.norm.json"
+    if ! diff -q "$workdir/cluster.norm.json" "$workdir/single.norm.json" >/dev/null; then
+        echo "cluster result diverged from single-node (area_mm2=$area):" >&2
+        diff "$workdir/cluster.norm.json" "$workdir/single.norm.json" | head -n 20 >&2
+        exit 1
+    fi
+done
 
 echo "== probe /v1/cluster"
 curl -fsS "$coord/v1/cluster" >"$workdir/cluster_status.json"
