@@ -242,6 +242,20 @@ func BenchmarkFastDVFS(b *testing.B) {
 	b.ReportMetric(saving, "subus-saving-pct")
 }
 
+func BenchmarkHybridSweep(b *testing.B) {
+	var bestEff float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Hybrid()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if best := r.Best(); best != nil {
+			bestEff = best.Efficiency
+		}
+	}
+	b.ReportMetric(bestEff*100, "best-hybrid-eff-pct")
+}
+
 // Component-level micro-benchmarks: the building blocks whose speed makes
 // the 10^3-10^5x modeling advantage possible.
 

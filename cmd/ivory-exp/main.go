@@ -7,7 +7,8 @@
 //	ivory-exp all
 //
 // Experiments: fig4, fig6, fig7, fig8, fig9, table1, table2, fig10, fig11,
-// fig12, fig13, ablations, twostage, dvfs, families, gridscale, gears.
+// fig12, fig13, ablations, twostage, dvfs, families, gridscale, gears,
+// variation, nodes, hybrid.
 // Text tables print to stdout; with -outdir, plot-ready CSV data files are
 // written as well. See EXPERIMENTS.md for the paper-vs-measured comparison.
 //
@@ -183,12 +184,20 @@ var runners = map[string]runner{
 		}
 		return outcome{r.Format(), r}, nil
 	},
+	"hybrid": func(ctx context.Context, _ noiseFn) (outcome, error) {
+		r, err := experiments.HybridRun(ctx, engineOpt)
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{r.Format(), r}, nil
+	},
 }
 
 var order = []string{
 	"fig4", "fig6", "fig7", "fig8", "fig9", "table1", "table2",
 	"fig10", "fig11", "fig12", "fig13",
 	"ablations", "twostage", "dvfs", "families", "gridscale", "gears", "variation", "nodes",
+	"hybrid",
 }
 
 func main() {

@@ -16,6 +16,9 @@
 //	POST /v1/explore    design-space exploration (async with "async": true)
 //	POST /v1/explore/stream  the same exploration as live SSE telemetry
 //	POST /v1/transient  workload-driven transient noise sweep
+//	POST /v1/hybrid     per-domain rail assignment sweep over an SoC
+//	                    floorplan (hybrid power delivery under an area
+//	                    budget; async with "async": true)
 //	POST /v1/shard/explore   internal shard API (cluster workers)
 //	GET  /v1/cluster    cluster role; on a coordinator, worker health and
 //	                    shard latency/retry telemetry

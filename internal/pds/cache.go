@@ -31,7 +31,7 @@ var (
 const traceCacheLimit = 64
 
 type traceKey struct {
-	benchSig uint64 // benchFingerprint of the workload
+	benchSig uint64 // Source.TraceSignature of the workload
 	cores    int
 	tdp      float64
 	dt       float64
@@ -73,23 +73,6 @@ func fnv1aU64(h, v uint64) uint64 {
 
 func fnv1aFloat(h uint64, f float64) uint64 { return fnv1aU64(h, math.Float64bits(f)) }
 
-// benchFingerprint folds every trace-determining benchmark parameter into a
-// 64-bit FNV-1a digest, so a custom Benchmark reusing a builtin name cannot
-// collide with it in the cache.
-func benchFingerprint(b workload.Benchmark) uint64 {
-	h := fnv1aString(fnvOffset64, b.Name)
-	h = fnv1aFloat(h, b.Base)
-	h = fnv1aFloat(h, b.PhaseAmp)
-	h = fnv1aFloat(h, b.PhasePeriod)
-	h = fnv1aFloat(h, b.BurstAmp)
-	for _, f := range b.BurstFreqs {
-		h = fnv1aFloat(h, f)
-	}
-	h = fnv1aFloat(h, b.StepProb)
-	h = fnv1aFloat(h, b.NoiseSigma)
-	return h
-}
-
 // benchStreamSeed derives the PRNG stream seed for one core of one
 // benchmark. The name enters through an FNV-1a hash: the previous
 // len(bench.Name) offset collided for benchmarks whose names share a length,
@@ -109,9 +92,9 @@ func benchStreamSeed(base int64, name string, core int) int64 {
 // The size cap is enforced by reserving a slot before storing (the same CAS
 // discipline as topology's Analyze memo): a plain check-then-store would let
 // N concurrent first-sight misses overshoot the bound by the worker count.
-func (s *System) coreCurrentsCached(bench workload.Benchmark, dt float64, n int, v float64) [][]float64 {
+func (s *System) coreCurrentsCached(src workload.Source, dt float64, n int, v float64) [][]float64 {
 	key := traceKey{
-		benchSig: benchFingerprint(bench),
+		benchSig: src.TraceSignature(),
 		cores:    s.Cores,
 		tdp:      s.TDPPerCore,
 		dt:       dt,
@@ -125,7 +108,7 @@ func (s *System) coreCurrentsCached(bench workload.Benchmark, dt float64, n int,
 		return got.([][]float64)
 	}
 	traceMisses.Add(1)
-	out := s.coreCurrents(bench, dt, n, v)
+	out := s.coreCurrents(src, dt, n, v)
 	for {
 		c := traceCount.Load()
 		if c >= traceCacheLimit {

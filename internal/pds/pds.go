@@ -22,6 +22,7 @@ import (
 
 	"ivory/internal/dynamic"
 	"ivory/internal/grid"
+	"ivory/internal/ldo"
 	"ivory/internal/numeric"
 	"ivory/internal/pdn"
 	"ivory/internal/sc"
@@ -109,10 +110,10 @@ type NoiseResult struct {
 	WorstDroop float64
 }
 
-func (s *System) coreCurrents(bench workload.Benchmark, dt float64, n int, v float64) [][]float64 {
+func (s *System) coreCurrents(src workload.Source, dt float64, n int, v float64) [][]float64 {
 	out := make([][]float64, s.Cores)
 	for c := 0; c < s.Cores; c++ {
-		p := bench.PowerTrace(s.TDPPerCore, dt, n, benchStreamSeed(s.Seed, bench.Name, c))
+		p := src.PowerTraceInto(nil, s.TDPPerCore, dt, n, benchStreamSeed(s.Seed, src.TraceName(), c))
 		out[c] = s.Load.CurrentTrace(p, v)
 	}
 	return out
@@ -237,16 +238,17 @@ func (r *NoiseResult) summarize(scr *Scratch, times, vCore []float64, vNom float
 // SimulateOffChipVRM produces the core voltage trace for the conventional
 // configuration: regulation at the board, the PDN carrying the summed core
 // current at core voltage. The VRM output is assumed ripple-free (paper
-// §2.2), so all noise comes from PDN impedance.
-func (s *System) SimulateOffChipVRM(bench workload.Benchmark, T, dt float64) (*NoiseResult, error) {
-	return s.SimulateOffChipVRMContext(context.Background(), bench, T, dt, SimOptions{KeepTrace: true})
+// §2.2), so all noise comes from PDN impedance. src is any workload.Source
+// — a single Benchmark or a PhaseSchedule.
+func (s *System) SimulateOffChipVRM(src workload.Source, T, dt float64) (*NoiseResult, error) {
+	return s.SimulateOffChipVRMContext(context.Background(), src, T, dt, SimOptions{KeepTrace: true})
 }
 
 // SimulateOffChipVRMContext is SimulateOffChipVRM with cancellation (polled
 // inside the transient integration, so a cancelled run stops mid-cell) and
 // engine options. Returned Times/VCore are freshly allocated, never aliased
 // to opt.Scratch, so results outlive the scratch they were built with.
-func (s *System) SimulateOffChipVRMContext(ctx context.Context, bench workload.Benchmark, T, dt float64, opt SimOptions) (*NoiseResult, error) {
+func (s *System) SimulateOffChipVRMContext(ctx context.Context, src workload.Source, T, dt float64, opt SimOptions) (*NoiseResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -255,7 +257,10 @@ func (s *System) SimulateOffChipVRMContext(ctx context.Context, bench workload.B
 		return nil, fmt.Errorf("pds: trace too short (%d samples)", n)
 	}
 	scr := opt.scratch()
-	cores := s.coreCurrentsCached(bench, dt, n, s.VNominal)
+	cores := s.coreCurrentsCached(src, dt, n, s.VNominal)
+	if err := checkTraces(src, cores, n); err != nil {
+		return nil, err
+	}
 	scr.total = sumTracesInto(scr.total, cores)
 	load := dynamic.Sampled(scr.total, dt)
 	ts, vs, err := s.Network.TransientContext(ctx, s.VNominal, func(t float64) float64 { return load(t) }, dt, T, scr.ts, scr.vs)
@@ -272,7 +277,7 @@ func (s *System) SimulateOffChipVRMContext(ctx context.Context, bench workload.B
 	scr.vCore = gridDropInto(scr.vCore, vs, cores[0][:len(vs)], dt, s.GridR, s.GridL)
 	res := &NoiseResult{
 		Config:    "off-chip VRM",
-		Benchmark: bench.Name,
+		Benchmark: src.TraceName(),
 	}
 	res.summarize(scr, ts, scr.vCore, s.VNominal, opt.KeepTrace)
 	return res, nil
@@ -283,14 +288,14 @@ func (s *System) SimulateOffChipVRMContext(ctx context.Context, bench workload.B
 // it is split evenly across the n IVR instances, each serving Cores/n
 // cores. The worst (first) core of the first IVR is traced: regulated IVR
 // output minus its local grid drop of GridR/n, GridL/n.
-func (s *System) SimulateIVR(base *sc.Design, nIVR int, bench workload.Benchmark, T, dt float64) (*NoiseResult, error) {
-	return s.SimulateIVRContext(context.Background(), base, nIVR, bench, T, dt, SimOptions{KeepTrace: true})
+func (s *System) SimulateIVR(base *sc.Design, nIVR int, src workload.Source, T, dt float64) (*NoiseResult, error) {
+	return s.SimulateIVRContext(context.Background(), base, nIVR, src, T, dt, SimOptions{KeepTrace: true})
 }
 
 // SimulateIVRContext is SimulateIVR with cancellation (polled inside the SC
 // simulator loop, so a cancelled run stops mid-cell) and engine options.
 // Returned Times/VCore are freshly allocated, never aliased to opt.Scratch.
-func (s *System) SimulateIVRContext(ctx context.Context, base *sc.Design, nIVR int, bench workload.Benchmark, T, dt float64, opt SimOptions) (*NoiseResult, error) {
+func (s *System) SimulateIVRContext(ctx context.Context, base *sc.Design, nIVR int, src workload.Source, T, dt float64, opt SimOptions) (*NoiseResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -318,7 +323,10 @@ func (s *System) SimulateIVRContext(ctx context.Context, base *sc.Design, nIVR i
 	}
 	coresPerIVR := s.Cores / nIVR
 	scr := opt.scratch()
-	all := s.coreCurrentsCached(bench, dt, steps, s.VNominal)
+	all := s.coreCurrentsCached(src, dt, steps, s.VNominal)
+	if err := checkTraces(src, all, steps); err != nil {
+		return nil, err
+	}
 	scr.total = sumTracesInto(scr.total, all[:coresPerIVR])
 	ivrLoad := scr.total
 	// Clock the hysteretic loop for the per-IVR worst-case load.
@@ -358,7 +366,99 @@ func (s *System) SimulateIVRContext(ctx context.Context, base *sc.Design, nIVR i
 	}
 	res := &NoiseResult{
 		Config:    name,
-		Benchmark: bench.Name,
+		Benchmark: src.TraceName(),
+	}
+	res.summarize(scr, scr.times, scr.vCore, s.VNominal, opt.KeepTrace)
+	return res, nil
+}
+
+// checkTraces rejects a workload source that produced no (or truncated)
+// traces — an invalid PhaseSchedule is the one Source that can fail
+// synthesis, and it fails by returning nil.
+func checkTraces(src workload.Source, traces [][]float64, n int) error {
+	for _, tr := range traces {
+		if len(tr) < n {
+			return fmt.Errorf("pds: workload source %q produced no usable trace (invalid schedule?)", src.TraceName())
+		}
+	}
+	return nil
+}
+
+// SimulateDigitalLDO produces the core voltage trace for a centralized
+// digital-LDO configuration; see SimulateDigitalLDOContext.
+func (s *System) SimulateDigitalLDO(des *ldo.Design, src workload.Source, T, dt float64) (*NoiseResult, error) {
+	return s.SimulateDigitalLDOContext(context.Background(), des, src, T, dt, SimOptions{KeepTrace: true})
+}
+
+// SimulateDigitalLDOContext runs the fourth delivery style: a centralized
+// on-chip digital LDO regulating the cores from a board-supplied input
+// rail at des.Config().VIn (the board VRM produces VNominal plus the LDO
+// headroom; the input rail is assumed stiff, the same idealization the IVR
+// path applies to its 3.3 V feed). The clocked bang-bang/proportional loop
+// is simulated by dynamic.LDOSimulator at a step refined to resolve the
+// controller sampling period, then decimated back to dt — mirroring the
+// SC path's interleave-tick refinement. The worst (first) core sits behind
+// the full-span grid segment, as with any centralized regulation point.
+//
+// Cancellation is polled before and after the dynamic run (the LDO
+// simulator itself is not cancellable), so a cancelled sweep stops between
+// cells rather than mid-integration.
+func (s *System) SimulateDigitalLDOContext(ctx context.Context, des *ldo.Design, src workload.Source, T, dt float64, opt SimOptions) (*NoiseResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if des == nil {
+		return nil, fmt.Errorf("pds: nil LDO design")
+	}
+	steps := int(T / dt)
+	if steps < 16 {
+		return nil, fmt.Errorf("pds: trace too short (%d samples)", steps)
+	}
+	scr := opt.scratch()
+	all := s.coreCurrentsCached(src, dt, steps, s.VNominal)
+	if err := checkTraces(src, all, steps); err != nil {
+		return nil, err
+	}
+	scr.total = sumTracesInto(scr.total, all)
+	_, iPk := numeric.MinMax(scr.total)
+	if iPk > des.MaxCurrent() {
+		return nil, fmt.Errorf("pds: LDO cannot sustain the peak load: %.3g A exceeds the %.3g A dropout limit",
+			iPk, des.MaxCurrent())
+	}
+	params := dynamic.LDOFromDesign(des)
+	// Proportional multi-segment updates: the controller class the
+	// paper-cited digital LDOs implement, and the one that can track
+	// benchmark-scale load steps within a sampling period.
+	params.Proportional = true
+	sim := &dynamic.LDOSimulator{P: params}
+	// The dynamic model requires the step to resolve the controller
+	// sampling period; refine below the requested dt and decimate after.
+	tick := 1 / params.FSample
+	factor := 1
+	for dt/float64(factor) > tick {
+		factor++
+	}
+	dtSim := dt / float64(factor)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr, err := sim.Run(dynamic.Sampled(scr.total, dt), dynamic.Constant(s.VNominal), T, dtSim)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	scr.vReg = grow(scr.vReg, steps)
+	scr.times = grow(scr.times, steps)
+	for k := 0; k < steps; k++ {
+		scr.vReg[k] = tr.V[k*factor]
+		scr.times[k] = tr.Times[k*factor]
+	}
+	scr.vCore = gridDropInto(scr.vCore, scr.vReg, all[0][:steps], dt, s.GridR, s.GridL)
+	res := &NoiseResult{
+		Config:    "digital LDO",
+		Benchmark: src.TraceName(),
 	}
 	res.summarize(scr, scr.times, scr.vCore, s.VNominal, opt.KeepTrace)
 	return res, nil
@@ -472,6 +572,58 @@ func (s *System) PowerBreakdown(p BreakdownParams) (Breakdown, error) {
 		b.PVRMLoss = vrmOut * (1 - p.VRMEfficiency) / p.VRMEfficiency
 		b.PSource = vrmOut + b.PVRMLoss
 	}
+	b.Efficiency = b.PCoreUseful / b.PSource
+	return b, nil
+}
+
+// PowerBreakdownLDO computes the power ladder for a centralized
+// digital-LDO configuration: the board VRM converts the source down to the
+// LDO input rail at vOp + headroomV, the PDN carries the chip current at
+// that rail, and the LDO's dissipative conversion (pass-device dropout,
+// quiescent and controller power — the efficiency ldo.Design.Evaluate
+// measures) takes the place of the IVR loss. p.IVREfficiency carries the
+// LDO efficiency; p.NumIVRs is ignored (the regulation point is
+// centralized, so the full grid span applies).
+func (s *System) PowerBreakdownLDO(p BreakdownParams, headroomV float64) (Breakdown, error) {
+	if err := s.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if p.Margin < 0 {
+		return Breakdown{}, fmt.Errorf("pds: negative margin")
+	}
+	if headroomV <= 0 {
+		return Breakdown{}, fmt.Errorf("pds: LDO headroom %g must be positive", headroomV)
+	}
+	if p.VRMEfficiency <= 0 || p.VRMEfficiency > 1 {
+		return Breakdown{}, fmt.Errorf("pds: VRM efficiency %g outside (0, 1]", p.VRMEfficiency)
+	}
+	if p.IVREfficiency <= 0 || p.IVREfficiency > 1 {
+		return Breakdown{}, fmt.Errorf("pds: LDO efficiency %g outside (0, 1]", p.IVREfficiency)
+	}
+	b := Breakdown{Config: p.Config}
+	pCore := s.TDPPerCore * float64(s.Cores)
+	b.PCoreUseful = pCore
+	vOp := s.VNominal + p.Margin
+	scale := vOp * vOp / (s.VNominal * s.VNominal)
+	pCoreActual := pCore * scale
+	b.PMargin = pCoreActual - pCore
+
+	// Centralized regulation: every core behind the full-span grid segment.
+	iCore := pCoreActual / float64(s.Cores) / vOp
+	b.PGridIR = float64(s.Cores) * iCore * iCore * s.GridR
+	ldoOut := pCoreActual + b.PGridIR
+	b.PIVRLoss = ldoOut * (1 - p.IVREfficiency) / p.IVREfficiency
+	ldoIn := ldoOut + b.PIVRLoss
+	// The PDN carries the chip current at the LDO input rail — barely above
+	// core voltage, so unlike the 3.3 V IVR feed the conduction loss stays
+	// off-chip-VRM-like. This is the structural handicap of hybrid LDO
+	// rails the sweep quantifies.
+	vIn := vOp + headroomV
+	iPDN := ldoIn / vIn
+	b.PPDNIR = iPDN * iPDN * s.Network.TotalR()
+	vrmOut := ldoIn + b.PPDNIR
+	b.PVRMLoss = vrmOut * (1 - p.VRMEfficiency) / p.VRMEfficiency
+	b.PSource = vrmOut + b.PVRMLoss
 	b.Efficiency = b.PCoreUseful / b.PSource
 	return b, nil
 }

@@ -21,6 +21,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/explore", s.instrument("explore", s.handleExplore))
 	mux.HandleFunc("POST /v1/explore/stream", s.instrument("explore_stream", s.handleExploreStream))
 	mux.HandleFunc("POST /v1/transient", s.instrument("transient", s.handleTransient))
+	mux.HandleFunc("POST /v1/hybrid", s.instrument("hybrid", s.handleHybrid))
 	mux.HandleFunc("POST /v1/shard/explore", s.instrument("shard", s.handleShardExplore))
 	mux.HandleFunc("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJob))
@@ -237,6 +238,49 @@ func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 				s.writeError(w, http.StatusServiceUnavailable, "transient sweep cancelled (server draining)")
 			default:
 				// The engine validates inputs (benchmark names, IVR counts)
+				// before simulating; those surface as client errors.
+				s.writeError(w, http.StatusBadRequest, err.Error())
+			}
+		})
+}
+
+func (s *Server) handleHybrid(w http.ResponseWriter, r *http.Request) {
+	var req HybridRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	spec, err := req.ToSpec()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	hash := req.Hash()
+	engineWorkers := s.cfg.EngineWorkers
+	fn := func(ctx context.Context) (any, error, bool) {
+		sp := spec
+		sp.Context = ctx
+		sp.Workers = engineWorkers
+		// Retain the full rankable view once; every Top trims from it.
+		sp.Top = hybridRetain
+		res, herr := s.hybrid(sp)
+		if herr != nil {
+			return nil, herr, false
+		}
+		s.metrics.noteHybrid(res.Stats)
+		return HybridResponseFromResult(hash, res), nil, true
+	}
+	s.dispatch(w, r, "hybrid", hash, req.Async, s.timeoutFor(req.TimeoutMS), fn,
+		func(w http.ResponseWriter, val any) {
+			writeJSON(w, http.StatusOK, val.(*HybridResponse).Trimmed(req.Top))
+		},
+		func(w http.ResponseWriter, err error) {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				s.writeError(w, http.StatusGatewayTimeout, "hybrid sweep exceeded its deadline")
+			case errors.Is(err, context.Canceled):
+				s.writeError(w, http.StatusServiceUnavailable, "hybrid sweep cancelled (server draining)")
+			default:
+				// The sweep validates its inputs (floorplan, rails, span)
 				// before simulating; those surface as client errors.
 				s.writeError(w, http.StatusBadRequest, err.Error())
 			}

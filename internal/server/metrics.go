@@ -10,6 +10,7 @@ import (
 
 	"ivory/internal/grid"
 	"ivory/internal/pds"
+	"ivory/internal/soc"
 	"ivory/internal/topology"
 )
 
@@ -95,6 +96,9 @@ type metrics struct {
 	// candidatesPruned counts configurations the adaptive search skipped
 	// without sizing, by pruning strategy (bound | halving).
 	candidatesPruned *counterVec
+	// hybridCandidates counts rail assignments hybrid sweeps examined, by
+	// outcome (ranked | rejected_infeasible | rejected_area).
+	hybridCandidates *counterVec
 	// shardsDispatched/shardRetries count coordinator shard attempts and
 	// reassignments, by worker URL.
 	shardsDispatched *counterVec
@@ -108,6 +112,7 @@ func newMetrics() *metrics {
 		jobsSubmitted:    newCounterVec(),
 		jobsRejected:     newCounterVec(),
 		candidatesPruned: newCounterVec(),
+		hybridCandidates: newCounterVec(),
 		shardsDispatched: newCounterVec(),
 		shardRetries:     newCounterVec(),
 	}
@@ -122,6 +127,21 @@ func (m *metrics) notePruned(bound, halving int) {
 	}
 	if halving > 0 {
 		m.candidatesPruned.add(`strategy="halving"`, int64(halving))
+	}
+}
+
+// noteHybrid folds one finished hybrid sweep's enumeration telemetry into
+// the counter. Cache hits do not recount: the counter tracks assignments
+// actually examined by compute jobs.
+func (m *metrics) noteHybrid(s soc.SweepStats) {
+	if s.Ranked > 0 {
+		m.hybridCandidates.add(`outcome="ranked"`, int64(s.Ranked))
+	}
+	if s.RejectedInfeasible > 0 {
+		m.hybridCandidates.add(`outcome="rejected_infeasible"`, int64(s.RejectedInfeasible))
+	}
+	if s.RejectedArea > 0 {
+		m.hybridCandidates.add(`outcome="rejected_area"`, int64(s.RejectedArea))
 	}
 }
 
@@ -188,6 +208,7 @@ func (m *metrics) write(w io.Writer, g gaugeSnapshot) {
 	writeCounterFamily(w, "ivoryd_jobs_submitted_total", "Jobs admitted to the compute queue by endpoint.", m.jobsSubmitted.snapshot())
 	writeCounterFamily(w, "ivoryd_jobs_rejected_total", "Jobs shed with 429 because the queue was full, by endpoint.", m.jobsRejected.snapshot())
 	writeCounterFamily(w, "ivoryd_candidates_pruned_total", "Configurations the adaptive search skipped without sizing, by strategy.", m.candidatesPruned.snapshot())
+	writeCounterFamily(w, "ivoryd_hybrid_candidates_total", "Rail assignments hybrid sweeps examined, by outcome.", m.hybridCandidates.snapshot())
 	writeCounterFamily(w, "ivoryd_shards_dispatched_total", "Shard attempts dispatched to cluster workers, by worker URL.", m.shardsDispatched.snapshot())
 	writeCounterFamily(w, "ivoryd_shard_retries_total", "Shard reassignments after a failed attempt, by worker URL.", m.shardRetries.snapshot())
 

@@ -14,6 +14,7 @@ import (
 	"ivory/internal/core"
 	"ivory/internal/experiments"
 	"ivory/internal/parallel"
+	"ivory/internal/soc"
 )
 
 // Config sizes the serving subsystem. The zero value is usable: every
@@ -131,6 +132,7 @@ type Server struct {
 	// queue/coalescing behavior without real compute.
 	explore   func(core.Spec) (*core.Result, error)
 	transient func(context.Context, experiments.TransientOptions) (*experiments.Fig10Result, error)
+	hybrid    func(soc.SweepSpec) (*soc.SweepResult, error)
 }
 
 // New builds a Server from the config (zero value fine; see Config).
@@ -145,6 +147,7 @@ func New(cfg Config) *Server {
 		drainEst:  &drainEstimator{},
 		explore:   core.Explore,
 		transient: experiments.Fig10Run,
+		hybrid:    soc.Sweep,
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	// The pool-level panic hook is a backstop; the per-job wrapper in

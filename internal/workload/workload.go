@@ -10,6 +10,25 @@
 // PRNG so experiments are reproducible. The dynamic analysis only consumes
 // I(t), so the synthetic traces exercise exactly the same code paths and
 // preserve the relative noise ordering across regulator configurations.
+//
+// # Seed derivation
+//
+// Every generator in this package is a pure function of its seed. The
+// layering rule, outermost first:
+//
+//   - The transient engines derive one stream per core as
+//     systemSeed XOR FNV-1a(source name, core index), where the source
+//     name is Source.TraceName — a benchmark's Name or a schedule's Name.
+//   - A PhaseSchedule further derives one stream per phase occurrence as
+//     coreSeed XOR FNV-1a(schedule name, occurrence index, phase benchmark
+//     name), then hands that seed to the phase benchmark's PowerTraceInto
+//     restarted at local time zero.
+//
+// Names enter through FNV-1a hashes (never lengths or positions), so
+// distinct names always select distinct streams, every cycle through a
+// schedule redraws fresh randomness, and regenerating any prefix of a
+// trace is bit-identical regardless of the requested span. The
+// PhaseSchedule golden test pins this contract.
 package workload
 
 import (

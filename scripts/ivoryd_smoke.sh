@@ -76,12 +76,55 @@ echo "$stream" | grep -q '^event: best' || {
     exit 1
 }
 
+echo "== probe /v1/hybrid"
+# A tiny one-domain hybrid sweep, submitted async: poll the job to the
+# ranked result, then resubmit synchronously and assert the cache served it.
+hybrid_spec='"domains":[{"name":"cpu","cores":2,"tdp_per_core_w":5,"vnominal_v":0.85,"grid_r_ohm":0.0035,"grid_l_h":5e-11,"benchmark":"CFD"}],"rails":["vrm","ivr"],"t_us":2,"dt_ns":5'
+job=$(curl -fsS -X POST "$base/v1/hybrid" \
+    -H 'Content-Type: application/json' \
+    -d "{$hybrid_spec,\"async\":true}")
+job_id=$(echo "$job" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+if [ -z "$job_id" ]; then
+    echo "async hybrid submit returned no job id:" >&2
+    echo "$job" >&2
+    exit 1
+fi
+hybrid=""
+for _ in $(seq 1 100); do
+    hybrid=$(curl -fsS "$base/v1/jobs/$job_id")
+    echo "$hybrid" | grep -q '"status": "running"' || break
+    sleep 0.1
+done
+echo "$hybrid" | grep -q '"status": "done"' || {
+    echo "hybrid job never completed:" >&2
+    echo "$hybrid" >&2
+    exit 1
+}
+echo "$hybrid" | grep -q '"assignment": "cpu=' || {
+    echo "hybrid job result carried no ranked assignment:" >&2
+    echo "$hybrid" >&2
+    exit 1
+}
+# Synchronous resubmission of the identical sweep must be a cache hit.
+hits_before=$(curl -fsS "$base/metrics" | sed -n 's/^ivoryd_result_cache_hits_total //p')
+curl -fsS -X POST "$base/v1/hybrid" \
+    -H 'Content-Type: application/json' \
+    -d "{$hybrid_spec}" | grep -q '"assignment": "cpu='
+hits_after=$(curl -fsS "$base/metrics" | sed -n 's/^ivoryd_result_cache_hits_total //p')
+if [ "$hits_after" -le "$hits_before" ]; then
+    echo "hybrid resubmission was not served from the cache ($hits_before -> $hits_after)" >&2
+    exit 1
+fi
+
 echo "== probe /metrics"
 metrics=$(curl -fsS "$base/metrics")
 echo "$metrics" | grep -q '^ivoryd_queue_depth'
 echo "$metrics" | grep -q 'ivoryd_requests_total{endpoint="explore",code="200"} 1'
 # The adaptive stream above pruned candidates; the counter must be scrapeable.
 echo "$metrics" | grep -q 'ivoryd_candidates_pruned_total{strategy="bound"}'
+# The hybrid sweep above examined assignments; one compute, so exactly the
+# ranked count from a single run (the cached resubmission must not recount).
+echo "$metrics" | grep -q 'ivoryd_hybrid_candidates_total{outcome="ranked"}'
 
 echo "== SIGTERM drain"
 kill -TERM "$pid"
